@@ -1,0 +1,57 @@
+// Shared helpers for the per-table / per-figure bench binaries.
+//
+// Every binary prints the paper's rows to stdout and mirrors them to a CSV
+// (<bench-name>.csv in the working directory). Scaling knobs come from the
+// environment (DESIGN.md §5): DART_TRAIN_SAMPLES, DART_EPOCHS,
+// DART_SIM_INSTR, DART_APPS, DART_FULL_SWEEP, DART_PAPER_SCALE.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/table_printer.hpp"
+#include "common/timer.hpp"
+#include "core/pipeline.hpp"
+#include "trace/generators.hpp"
+
+namespace dart::bench {
+
+/// Apps to evaluate: all eight by default, or the DART_APPS subset.
+inline std::vector<trace::App> bench_apps() {
+  const auto names = common::env_list("DART_APPS");
+  if (names.empty()) return trace::all_apps();
+  std::vector<trace::App> apps;
+  for (const auto& n : names) apps.push_back(trace::app_from_name(n));
+  return apps;
+}
+
+/// Short column label, e.g. "410.bwav".
+inline std::string short_name(trace::App app) {
+  std::string n = trace::app_name(app);
+  return n.size() > 8 ? n.substr(0, 8) : n;
+}
+
+/// Runs `fn(app, index)` for every app on its own thread (per-app pipelines
+/// are independent; inner compute shares the global pool).
+template <typename Fn>
+void for_each_app_parallel(const std::vector<trace::App>& apps, Fn&& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    threads.emplace_back([&, i] { fn(apps[i], i); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+/// Prints and CSV-mirrors a finished table.
+inline void emit(common::TablePrinter& table, const std::string& csv_name) {
+  table.print();
+  if (table.write_csv(csv_name)) {
+    std::printf("[csv] %s\n", csv_name.c_str());
+  }
+}
+
+}  // namespace dart::bench

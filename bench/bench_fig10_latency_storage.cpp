@@ -1,0 +1,34 @@
+// Fig. 10 — tabular model latency and storage under varying K and C.
+// Paper shape: latency scales linearly with log(K) and log(C); storage
+// grows exponentially (dominated by the K^2 attention tables).
+#include "bench_common.hpp"
+#include "core/configs.hpp"
+#include "tabular/complexity.hpp"
+
+using namespace dart;
+
+int main() {
+  const nn::ModelConfig arch = core::paper_student_config();
+
+  common::TablePrinter tk("Fig. 10a: latency & storage vs K (C=2)");
+  tk.set_header({"K", "Latency (cycles)", "Storage (bytes)"});
+  for (std::size_t k : {16, 32, 64, 128, 256, 512, 1024}) {
+    const auto cost = tabular::tabular_model_cost(arch, tabular::TableConfig::uniform(k, 2));
+    tk.add_row({std::to_string(k), std::to_string(cost.latency_cycles),
+                common::TablePrinter::fmt_bytes(cost.storage_bytes())});
+  }
+  bench::emit(tk, "fig10_k_sweep.csv");
+
+  common::TablePrinter tc("Fig. 10b: latency & storage vs C (K=128)");
+  tc.set_header({"C", "Latency (cycles)", "Storage (bytes)"});
+  for (std::size_t c : {1, 2, 4, 8}) {
+    const tabular::TableConfig cfg = tabular::TableConfig::uniform(128, c);
+    if (!tabular::config_is_valid(arch, cfg)) continue;
+    const auto cost = tabular::tabular_model_cost(arch, cfg);
+    tc.add_row({std::to_string(c), std::to_string(cost.latency_cycles),
+                common::TablePrinter::fmt_bytes(cost.storage_bytes())});
+  }
+  bench::emit(tc, "fig10_c_sweep.csv");
+  std::printf("Paper shape: latency linear in log(K), log(C); storage exponential in K.\n");
+  return 0;
+}

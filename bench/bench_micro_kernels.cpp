@@ -1,0 +1,112 @@
+// Microbenchmarks (google-benchmark): wall-clock cost of the tabular
+// kernels vs the dense operations they replace, and of the two encoders.
+// These demonstrate the mechanism behind Table V on a real CPU: table
+// lookups replace the O(D^2) matmul with O(C log K + DO*C) work.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "nn/linear.hpp"
+#include "nn/ops.hpp"
+#include "pq/kmeans.hpp"
+#include "tabular/attention_kernel.hpp"
+#include "tabular/linear_kernel.hpp"
+
+using namespace dart;
+
+namespace {
+
+constexpr std::size_t kT = 8;
+
+nn::Tensor make_rows(std::size_t n, std::size_t d, std::uint64_t seed) {
+  return nn::Tensor::randn({n, d}, 1.0f, seed);
+}
+
+void BM_DenseLinear(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  nn::Linear lin(d, d, 1);
+  nn::Tensor x = make_rows(kT, d, 2);
+  for (auto _ : state) {
+    nn::Tensor y = lin.apply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_DenseLinear)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LinearKernelQuery(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  nn::Linear lin(d, d, 1);
+  nn::Tensor train = make_rows(2048, d, 3);
+  tabular::KernelConfig cfg;
+  cfg.num_prototypes = 128;
+  cfg.num_subspaces = 2;
+  cfg.encoder = pq::EncoderKind::kHashTree;
+  tabular::LinearKernel kernel(lin.weight(), lin.bias(), train, cfg);
+  nn::Tensor x = make_rows(kT, d, 4);
+  for (auto _ : state) {
+    nn::Tensor y = kernel.query(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_LinearKernelQuery)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DenseAttentionHead(benchmark::State& state) {
+  const std::size_t dk = static_cast<std::size_t>(state.range(0));
+  nn::Tensor q = make_rows(kT, dk, 5), k = make_rows(kT, dk, 6), v = make_rows(kT, dk, 7);
+  for (auto _ : state) {
+    nn::Tensor scores, out;
+    nn::ops::matmul_nt(q, k, scores);
+    scores *= 1.0f / std::sqrt(static_cast<float>(dk));
+    nn::ops::softmax_rows(scores);
+    nn::ops::matmul(scores, v, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DenseAttentionHead)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_AttentionKernelQuery(benchmark::State& state) {
+  const std::size_t dk = static_cast<std::size_t>(state.range(0));
+  nn::Tensor q = nn::Tensor::randn({512, kT, dk}, 1.0f, 8);
+  nn::Tensor k = nn::Tensor::randn({512, kT, dk}, 1.0f, 9);
+  nn::Tensor v = nn::Tensor::randn({512, kT, dk}, 1.0f, 10);
+  tabular::AttentionKernelConfig cfg;
+  cfg.num_prototypes = 128;
+  cfg.ck = 2;
+  cfg.ct = 2;
+  cfg.encoder = pq::EncoderKind::kHashTree;
+  tabular::AttentionKernel kernel(q, k, v, cfg);
+  nn::Tensor qs = make_rows(kT, dk, 11), ks = make_rows(kT, dk, 12), vs = make_rows(kT, dk, 13);
+  for (auto _ : state) {
+    nn::Tensor y = kernel.query(qs, ks, vs);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AttentionKernelQuery)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ExactEncoder(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  nn::Tensor data = make_rows(4096, 16, 14);
+  auto res = pq::kmeans(data, k, {8, 1e-4, 1});
+  pq::ExactEncoder enc(res.centroids);
+  nn::Tensor probe = make_rows(1, 16, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(probe.row(0)));
+  }
+}
+BENCHMARK(BM_ExactEncoder)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_HashTreeEncoder(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  nn::Tensor data = make_rows(4096, 16, 16);
+  auto res = pq::kmeans(data, k, {8, 1e-4, 1});
+  pq::HashTreeEncoder enc(res.centroids);
+  nn::Tensor probe = make_rows(1, 16, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(probe.row(0)));
+  }
+}
+BENCHMARK(BM_HashTreeEncoder)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

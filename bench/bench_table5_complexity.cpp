@@ -1,0 +1,59 @@
+// Table V — model configurations and complexity: latency (cycles under full
+// parallelism), storage, and arithmetic operations for the Teacher, the
+// distilled Student, and DART's table hierarchy; plus the paper's headline
+// ratios (170x / 9.4x acceleration, 99.99% / 91.83% op reduction).
+#include "bench_common.hpp"
+#include "core/configs.hpp"
+#include "tabular/complexity.hpp"
+
+using namespace dart;
+
+int main() {
+  const nn::ModelConfig teacher = core::paper_teacher_config();
+  const nn::ModelConfig student = core::paper_student_config();
+  const auto dart_v = core::dart_variant();
+
+  const tabular::ModelCost ct = tabular::nn_model_cost(teacher);
+  const tabular::ModelCost cs = tabular::nn_model_cost(student);
+  const tabular::ModelCost cd = tabular::tabular_model_cost(dart_v.arch, dart_v.tables);
+
+  common::TablePrinter t("Table V: configurations of models");
+  t.set_header({"Model", "L", "D", "H", "K", "C", "Latency(cyc)", "Storage(B)", "Ops"});
+  auto row = [&](const char* name, const nn::ModelConfig& m, const char* k, const char* c,
+                 const tabular::ModelCost& cost) {
+    t.add_row({name, std::to_string(m.layers), std::to_string(m.dim), std::to_string(m.heads),
+               k, c, common::TablePrinter::fmt_count(cost.latency_cycles),
+               common::TablePrinter::fmt_bytes(cost.storage_bytes()),
+               common::TablePrinter::fmt_count(cost.arithmetic_ops)});
+  };
+  row("Teacher", teacher, "-", "-", ct);
+  row("Student", student, "-", "-", cs);
+  row("DART", dart_v.arch, "128", "2", cd);
+  bench::emit(t, "table5_complexity.csv");
+
+  common::TablePrinter h("Headline ratios (paper: 170x, 9.4x, 99.99%, 91.83%)");
+  h.set_header({"Metric", "Measured", "Paper"});
+  h.add_row({"Teacher/DART latency speedup",
+             common::TablePrinter::fmt(static_cast<double>(ct.latency_cycles) /
+                                           static_cast<double>(cd.latency_cycles), 1) + "x",
+             "170x"});
+  h.add_row({"Student/DART latency speedup",
+             common::TablePrinter::fmt(static_cast<double>(cs.latency_cycles) /
+                                           static_cast<double>(cd.latency_cycles), 1) + "x",
+             "9.4x"});
+  h.add_row({"Op reduction vs Teacher",
+             common::TablePrinter::fmt_pct(
+                 1.0 - static_cast<double>(cd.arithmetic_ops) /
+                           static_cast<double>(ct.arithmetic_ops), 2),
+             "99.99%"});
+  h.add_row({"Op reduction vs Student",
+             common::TablePrinter::fmt_pct(
+                 1.0 - static_cast<double>(cd.arithmetic_ops) /
+                           static_cast<double>(cs.arithmetic_ops), 2),
+             "91.83%"});
+  h.add_row({"Teacher/DART storage compression",
+             common::TablePrinter::fmt(ct.storage_bytes() / cd.storage_bytes(), 0) + "x",
+             "102x"});
+  bench::emit(h, "table5_ratios.csv");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table VIII — configurations chosen by the table configurator under the
+// paper's three (latency, storage) design-constraint pairs.
+#include "bench_common.hpp"
+#include "core/configs.hpp"
+#include "tabular/configurator.hpp"
+
+using namespace dart;
+
+int main() {
+  tabular::ConfiguratorOptions copts;
+  copts.base = core::paper_student_config();
+  tabular::TableConfigurator configurator(copts);
+  std::printf("Configuration dictionary: %zu valid candidates enumerated.\n\n",
+              configurator.candidates().size());
+
+  common::TablePrinter t("Table VIII: DART variants under design constraints");
+  t.set_header({"Prefetcher", "tau (cyc)", "s (B)", "Chosen (L,D,H,K,C)", "Latency",
+                "Storage", "Ops", "Paper config"});
+  struct Row {
+    const char* name;
+    std::size_t tau;
+    double s;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {"DART-S", 60, 30e3, "(1,16,2,16,1) 57cyc 29.9K"},
+      {"DART", 100, 1e6, "(1,32,2,128,2) 97cyc 864.4K"},
+      {"DART-L", 200, 4e6, "(2,32,2,256,2) 191cyc 3.75M"},
+  };
+  for (const Row& r : rows) {
+    const auto choice = configurator.configure(r.tau, r.s);
+    if (!choice.has_value()) {
+      t.add_row({r.name, std::to_string(r.tau), common::TablePrinter::fmt_bytes(r.s),
+                 "(none)", "-", "-", "-", r.paper});
+      continue;
+    }
+    t.add_row({r.name, std::to_string(r.tau), common::TablePrinter::fmt_bytes(r.s),
+               choice->to_string(),
+               std::to_string(choice->cost.latency_cycles),
+               common::TablePrinter::fmt_bytes(choice->cost.storage_bytes()),
+               common::TablePrinter::fmt_count(choice->cost.arithmetic_ops), r.paper});
+  }
+  bench::emit(t, "table8_configurator.csv");
+  return 0;
+}

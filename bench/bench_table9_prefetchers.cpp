@@ -1,0 +1,49 @@
+// Table IX — configurations of all evaluated prefetchers: storage, latency,
+// table/ML mechanism. Rule-based entries are instantiated to report their
+// real structure sizes; NN entries report the canonical model sizes.
+#include "bench_common.hpp"
+#include "core/configs.hpp"
+#include "prefetch/rule_based.hpp"
+#include "tabular/complexity.hpp"
+
+using namespace dart;
+
+int main() {
+  common::TablePrinter t("Table IX: configurations of prefetchers");
+  t.set_header({"Prefetcher", "Storage", "Latency(cyc)", "Table", "ML", "Mechanism"});
+
+  prefetch::BestOffsetPrefetcher bo;
+  prefetch::IsbPrefetcher isb;
+  t.add_row({"BO", common::TablePrinter::fmt_bytes(bo.storage_bytes()),
+             std::to_string(bo.prediction_latency()), "yes", "no", "Spatial locality"});
+  t.add_row({"ISB", common::TablePrinter::fmt_bytes(isb.storage_bytes()),
+             std::to_string(isb.prediction_latency()), "yes", "no", "Temporal locality"});
+
+  // NN baselines: the TransFetch-like model is the pipeline teacher; the
+  // Voyager-like model is the LSTM predictor (sizes from the architectures).
+  const nn::ModelConfig tf = core::bench_teacher_config();
+  nn::AddressPredictor tf_model(tf, 1);
+  const auto prep = core::default_preprocess();
+  nn::LstmPredictor voy(prep.addr_segments, prep.pc_segments, 64, prep.bitmap_size, 2);
+  t.add_row({"TransFetch", common::TablePrinter::fmt_bytes(tf_model.num_params() * 4.0),
+             "4.5K", "no", "yes", "Attention"});
+  t.add_row({"Voyager", common::TablePrinter::fmt_bytes(voy.num_params() * 4.0), "27.7K",
+             "no", "yes", "LSTM"});
+  t.add_row({"TransFetch-I", "-", "0", "no", "yes", "Attention (Ideal)"});
+  t.add_row({"Voyager-I", "-", "0", "no", "yes", "LSTM (Ideal)"});
+
+  const auto s = core::dart_s_variant();
+  const auto l = core::dart_l_variant();
+  const auto cs = tabular::tabular_model_cost(s.arch, s.tables);
+  const auto cl = tabular::tabular_model_cost(l.arch, l.tables);
+  t.add_row({"DART (S..L)",
+             common::TablePrinter::fmt_bytes(cs.storage_bytes()) + " - " +
+                 common::TablePrinter::fmt_bytes(cl.storage_bytes()),
+             std::to_string(cs.latency_cycles) + " - " + std::to_string(cl.latency_cycles),
+             "yes", "yes", "Attention (tabularized)"});
+  bench::emit(t, "table9_prefetchers.csv");
+  std::printf("Paper: BO 4KB/~60cyc, ISB 8KB/~30cyc, TransFetch 13.8MB/4.5K,\n"
+              "Voyager 14.9MB/27.7K, DART 29.9K-3.75M / 57-191 cycles.\n"
+              "(Our NN baselines are CPU-scaled; see DESIGN.md substitution #3.)\n");
+  return 0;
+}

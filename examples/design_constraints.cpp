@@ -1,0 +1,55 @@
+// Scenario example: hardware design-space exploration with the table
+// configurator (§VI-C). Given a latency budget (cycles) and a storage
+// budget (bytes) — the constraints a cache designer actually faces — find
+// the best tabular predictor configuration, and show how the frontier moves
+// as the budgets change.
+//
+// Run: ./build/examples/design_constraints [tau_cycles] [storage_bytes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/configs.hpp"
+#include "tabular/configurator.hpp"
+
+using namespace dart;
+
+int main(int argc, char** argv) {
+  tabular::ConfiguratorOptions opts;
+  opts.base = core::paper_student_config();
+  tabular::TableConfigurator configurator(opts);
+  std::printf("enumerated %zu valid (architecture, tables) candidates\n\n",
+              configurator.candidates().size());
+
+  if (argc == 3) {
+    const auto tau = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+    const double storage = std::strtod(argv[2], nullptr);
+    const auto choice = configurator.configure(tau, storage);
+    if (!choice.has_value()) {
+      std::printf("no configuration satisfies tau=%zu cycles, s=%.0f bytes\n", tau, storage);
+      return 1;
+    }
+    std::printf("chosen: %s  latency=%zu cyc  storage=%.1f KB  ops=%zu\n",
+                choice->to_string().c_str(), choice->cost.latency_cycles,
+                choice->cost.storage_bytes() / 1024.0, choice->cost.arithmetic_ops);
+    return 0;
+  }
+
+  // No arguments: sweep a frontier of budgets (the Table VIII experiment,
+  // generalized).
+  std::printf("%-10s %-12s %-28s %-10s %-12s\n", "tau(cyc)", "s(bytes)", "chosen config",
+              "latency", "storage");
+  const std::size_t taus[] = {40, 60, 80, 100, 150, 200, 300};
+  const double storages[] = {16e3, 30e3, 128e3, 1e6, 4e6, 16e6};
+  for (std::size_t tau : taus) {
+    for (double s : storages) {
+      const auto choice = configurator.configure(tau, s);
+      if (!choice.has_value()) continue;
+      std::printf("%-10zu %-12.0f %-28s %-10zu %-12.1f\n", tau, s,
+                  choice->to_string().c_str(), choice->cost.latency_cycles,
+                  choice->cost.storage_bytes() / 1024.0);
+      break;  // report the largest storage budget that changes the answer
+    }
+  }
+  std::printf("\nTip: pass explicit budgets, e.g. ./design_constraints 100 1000000\n");
+  return 0;
+}

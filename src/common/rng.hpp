@@ -1,0 +1,74 @@
+// Deterministic random number generation helpers.
+//
+// Every stochastic component in the library (weight init, k-means seeding,
+// synthetic trace generation, data shuffling) takes an explicit seed so runs
+// are bit-reproducible; tests rely on this.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dart::common {
+
+/// Thin wrapper over mt19937_64 with the sampling helpers we need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean / stddev.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Geometric-ish heavy-tail sample in [0, n): index i with prob ~ decay^i.
+  std::size_t zipf_like(std::size_t n, double decay) {
+    // Inverse-CDF over a truncated geometric distribution; cheap and
+    // adequate for workload skew modeling.
+    double u = uniform();
+    double p = 1.0 - decay;
+    double cum = 0.0;
+    double w = p;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      cum += w;
+      if (u < cum) return i;
+      w *= decay;
+    }
+    return n - 1;
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Derives a child seed from a parent seed and a stream id (splitmix64 mix),
+/// so parallel components get decorrelated streams deterministically.
+inline std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace dart::common

@@ -1,0 +1,115 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dart::common {
+namespace {
+thread_local bool t_inside_pool = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_pool = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_grain) {
+  if (n == 0) return;
+  auto& pool = ThreadPool::instance();
+  const std::size_t workers = pool.size();
+  // Inline when the range is small or when called from inside a pool task:
+  // nested fork-join would deadlock a bounded pool waiting on itself.
+  if (t_inside_pool || n <= min_grain || workers <= 1) {
+    body(0, n);
+    return;
+  }
+  const std::size_t blocks = std::min(workers * 2, (n + min_grain - 1) / min_grain);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    if (b * chunk >= n) break;
+    ++remaining;
+  }
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t begin = b * chunk;
+    if (begin >= n) break;
+    const std::size_t end = std::min(n, begin + chunk);
+    pool.submit([&, begin, end] {
+      body(begin, end);
+      // Decrement under the mutex so the waiter cannot destroy the
+      // synchronization state while this worker still references it.
+      std::lock_guard lock(done_mutex);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+void parallel_for_each(std::size_t n, const std::function<void(std::size_t)>& body,
+                       std::size_t min_grain) {
+  parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      min_grain);
+}
+
+}  // namespace dart::common

@@ -1,0 +1,69 @@
+// Shared fork-join thread pool used by all compute-heavy subsystems
+// (matmul, k-means, PQ encoding, simulator sweeps).
+//
+// Design follows the hpc-parallel guidance: a single process-wide pool,
+// OpenMP-style `parallel_for` over index ranges, static block partitioning,
+// and no shared mutable state inside loop bodies (each worker owns a
+// disjoint index range).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dart::common {
+
+/// A fixed-size worker pool executing arbitrary tasks.
+///
+/// Tasks are `std::function<void()>`; `wait_idle()` blocks until every
+/// submitted task has finished. The pool is non-copyable and joins its
+/// workers on destruction (RAII, C++ Core Guidelines CP.25).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means `hardware_concurrency()`.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Process-wide pool, created on first use.
+  static ThreadPool& instance();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Splits `[0, n)` into contiguous blocks and runs `body(begin, end)` on the
+/// shared pool. Falls back to inline execution for small `n` (grain control)
+/// or when already inside a pool worker (no nested parallelism).
+///
+/// `body` must be safe to run concurrently on disjoint ranges.
+void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_grain = 1024);
+
+/// Convenience per-index variant: runs `body(i)` for i in [0, n).
+void parallel_for_each(std::size_t n, const std::function<void(std::size_t)>& body,
+                       std::size_t min_grain = 256);
+
+}  // namespace dart::common

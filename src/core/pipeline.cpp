@@ -1,0 +1,159 @@
+#include "core/pipeline.hpp"
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "core/configs.hpp"
+#include "sim/simulator.hpp"
+
+namespace dart::core {
+
+PipelineOptions PipelineOptions::bench_defaults() {
+  PipelineOptions o;
+  o.prep = default_preprocess();
+  o.teacher_arch = bench_teacher_config();
+  o.student_arch = paper_student_config();
+  o.teacher_train.epochs = static_cast<std::size_t>(common::env_int("DART_EPOCHS", 6));
+  o.teacher_train.batch_size = 64;
+  o.teacher_train.lr = 1e-3f;
+  o.student_train = o.teacher_train;
+  o.kd.temperature = 2.0f;
+  o.kd.lambda = 0.5f;
+  o.tab.tables = dart_table_config();
+  o.tab.max_train_samples = 2048;
+  o.raw_accesses = static_cast<std::size_t>(common::env_int("DART_SIM_INSTR", 400000));
+  o.prep.max_samples = static_cast<std::size_t>(common::env_int("DART_TRAIN_SAMPLES", 6000));
+  return o;
+}
+
+Pipeline::Pipeline(trace::App app, const PipelineOptions& options) : app_(app), opts_(options) {}
+
+void Pipeline::prepare() {
+  if (prepared_) return;
+  raw_ = trace::generate(app_, opts_.raw_accesses, common::derive_seed(opts_.seed, 1));
+  llc_ = sim::extract_llc_trace(raw_, opts_.sim);
+  // Guard against workloads that are so cache-friendly the LLC stream is
+  // too short to window: fall back to the raw trace.
+  const std::size_t need = opts_.prep.history + opts_.prep.lookforward + 64;
+  const trace::MemoryTrace& source = llc_.size() >= need ? llc_ : raw_;
+  nn::Dataset all = trace::make_dataset(source, opts_.prep);
+  // Temporal split: train on the prefix, test on the suffix.
+  auto [train, test] = all.split(opts_.train_frac);
+  train_ = std::move(train);
+  test_ = std::move(test);
+  prepared_ = true;
+}
+
+nn::AddressPredictor& Pipeline::teacher() {
+  if (!teacher_) {
+    prepare();
+    teacher_ = std::make_unique<nn::AddressPredictor>(opts_.teacher_arch,
+                                                      common::derive_seed(opts_.seed, 2));
+    nn::train_bce(*teacher_, train_, opts_.teacher_train);
+  }
+  return *teacher_;
+}
+
+nn::AddressPredictor& Pipeline::student_no_kd() {
+  if (!student_no_kd_) {
+    prepare();
+    student_no_kd_ = std::make_unique<nn::AddressPredictor>(opts_.student_arch,
+                                                            common::derive_seed(opts_.seed, 3));
+    nn::train_bce(*student_no_kd_, train_, opts_.student_train);
+  }
+  return *student_no_kd_;
+}
+
+nn::AddressPredictor& Pipeline::student() {
+  if (!student_) {
+    nn::AddressPredictor& t = teacher();
+    student_ = std::make_unique<nn::AddressPredictor>(opts_.student_arch,
+                                                      common::derive_seed(opts_.seed, 3));
+    nn::train_distill(*student_, t, train_, opts_.student_train, opts_.kd);
+  }
+  return *student_;
+}
+
+tabular::TabularPredictor Pipeline::tabularize(const tabular::TabularizeOptions& options,
+                                               tabular::TabularizeReport* report) {
+  nn::AddressPredictor& s = student();
+  return tabular::tabularize(s, train_.addr, train_.pc, options, report);
+}
+
+tabular::TabularPredictor& Pipeline::dart() {
+  if (!dart_) {
+    dart_ = std::make_unique<tabular::TabularPredictor>(tabularize(opts_.tab));
+  }
+  return *dart_;
+}
+
+nn::LstmPredictor& Pipeline::lstm_baseline() {
+  if (!lstm_) {
+    prepare();
+    lstm_ = std::make_unique<nn::LstmPredictor>(
+        opts_.prep.addr_segments, opts_.prep.pc_segments, /*hidden=*/64,
+        opts_.prep.bitmap_size, common::derive_seed(opts_.seed, 4));
+    nn::train_bce(*lstm_, train_, opts_.student_train);
+  }
+  return *lstm_;
+}
+
+nn::F1Result Pipeline::eval_nn(nn::AddressPredictor& model) {
+  prepare();
+  return nn::evaluate_f1(model, test_);
+}
+
+nn::F1Result Pipeline::eval_lstm(nn::LstmPredictor& model) {
+  prepare();
+  return nn::evaluate_f1(model, test_);
+}
+
+nn::F1Result Pipeline::eval_tabular(const tabular::TabularPredictor& model) {
+  prepare();
+  return evaluate_tabular_f1(model, test_);
+}
+
+const nn::Dataset& Pipeline::train_set() {
+  prepare();
+  return train_;
+}
+
+const nn::Dataset& Pipeline::test_set() {
+  prepare();
+  return test_;
+}
+
+const trace::MemoryTrace& Pipeline::raw_trace() {
+  prepare();
+  return raw_;
+}
+
+const trace::MemoryTrace& Pipeline::llc_trace() {
+  prepare();
+  return llc_;
+}
+
+nn::F1Result evaluate_tabular_f1(const tabular::TabularPredictor& model, const nn::Dataset& data,
+                                 std::size_t batch) {
+  std::size_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t begin = 0; begin < data.size(); begin += batch) {
+    const std::size_t end = std::min(data.size(), begin + batch);
+    nn::Dataset b = data.slice(begin, end);
+    nn::Tensor probs = model.forward(b.addr, b.pc);
+    nn::F1Result r = nn::f1_score_from_probs(probs, b.labels);
+    tp += r.true_pos;
+    fp += r.false_pos;
+    fn += r.false_neg;
+  }
+  nn::F1Result total;
+  total.true_pos = tp;
+  total.false_pos = fp;
+  total.false_neg = fn;
+  total.precision = (tp + fp) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0.0;
+  total.recall = (tp + fn) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+  total.f1 = (total.precision + total.recall) > 0.0
+                 ? 2.0 * total.precision * total.recall / (total.precision + total.recall)
+                 : 0.0;
+  return total;
+}
+
+}  // namespace dart::core

@@ -1,0 +1,174 @@
+#include "core/prefetch_eval.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "core/configs.hpp"
+#include "prefetch/nn_prefetchers.hpp"
+#include "prefetch/rule_based.hpp"
+#include "tabular/complexity.hpp"
+
+namespace dart::core {
+
+namespace {
+
+/// Per-app evaluation: builds the pipeline stages each requested prefetcher
+/// needs, then runs the simulator once per prefetcher.
+std::vector<PrefetchCell> evaluate_app(trace::App app, const PrefetchEvalOptions& opt) {
+  Pipeline pipe(app, opt.pipeline);
+  pipe.prepare();
+  sim::Simulator simulator(opt.pipeline.sim);
+  const trace::MemoryTrace& raw = pipe.raw_trace();
+
+  const sim::SimStats baseline = simulator.run(raw, nullptr);
+  const double base_ipc = baseline.ipc();
+
+  prefetch::NnAdapterOptions nn_opts;
+  nn_opts.prep = opt.pipeline.prep;
+  nn_opts.degree = opt.pipeline.sim.max_degree;
+
+  // Lazily shared heavy models.
+  std::shared_ptr<nn::AddressPredictor> transfetch_model;
+  std::shared_ptr<nn::LstmPredictor> voyager_model;
+  auto get_transfetch = [&]() {
+    if (!transfetch_model) {
+      // The TransFetch baseline *is* an attention predictor; reuse the
+      // pipeline's large teacher model as the TransFetch network.
+      transfetch_model = std::shared_ptr<nn::AddressPredictor>(&pipe.teacher(),
+                                                               [](nn::AddressPredictor*) {});
+    }
+    return transfetch_model;
+  };
+  auto get_voyager = [&]() {
+    if (!voyager_model) {
+      voyager_model =
+          std::shared_ptr<nn::LstmPredictor>(&pipe.lstm_baseline(), [](nn::LstmPredictor*) {});
+    }
+    return voyager_model;
+  };
+
+  // DART variants: distill a student at the variant's architecture, then
+  // tabularize with the variant's tables. The default DART reuses the
+  // pipeline's cached student.
+  auto make_dart = [&](const DartVariant& variant,
+                       bool reuse_default) -> std::unique_ptr<sim::Prefetcher> {
+    tabular::TabularizeOptions tab = opt.pipeline.tab;
+    tab.tables = variant.tables;
+    // Simulation queries must be O(log K): use the hash-tree encoder.
+    tab.encoder = pq::EncoderKind::kHashTree;
+    std::shared_ptr<tabular::TabularPredictor> predictor;
+    if (reuse_default) {
+      predictor = std::make_shared<tabular::TabularPredictor>(pipe.tabularize(tab));
+    } else {
+      PipelineOptions po = opt.pipeline;
+      po.student_arch = variant.arch;
+      Pipeline variant_pipe(app, po);
+      // Share the prepared data by re-preparing (deterministic: same seed).
+      variant_pipe.prepare();
+      nn::AddressPredictor& t = pipe.teacher();
+      nn::AddressPredictor student(variant.arch, common::derive_seed(po.seed, 3));
+      nn::train_distill(student, t, variant_pipe.train_set(), po.student_train, po.kd);
+      predictor = std::make_shared<tabular::TabularPredictor>(
+          tabular::tabularize(student, variant_pipe.train_set().addr,
+                              variant_pipe.train_set().pc, tab));
+    }
+    const tabular::ModelCost cost = tabular::tabular_model_cost(variant.arch, variant.tables);
+    prefetch::NnAdapterOptions o = nn_opts;
+    o.latency = cost.latency_cycles;
+    return std::make_unique<prefetch::DartPrefetcher>(predictor, o, variant.name);
+  };
+
+  auto make_prefetcher = [&](const std::string& name) -> std::unique_ptr<sim::Prefetcher> {
+    if (name == "NextLine") return std::make_unique<prefetch::NextLinePrefetcher>(2);
+    if (name == "Stride") return std::make_unique<prefetch::StridePrefetcher>();
+    if (name == "BO") return std::make_unique<prefetch::BestOffsetPrefetcher>();
+    if (name == "ISB") return std::make_unique<prefetch::IsbPrefetcher>();
+    if (name == "TransFetch" || name == "TransFetch-I") {
+      prefetch::NnAdapterOptions o = nn_opts;
+      o.latency = name == "TransFetch" ? opt.transfetch_latency : 0;
+      o.trigger_sample = opt.nn_trigger_sample;
+      return std::make_unique<prefetch::AttentionPrefetcher>(get_transfetch(), o, name);
+    }
+    if (name == "Voyager" || name == "Voyager-I") {
+      prefetch::NnAdapterOptions o = nn_opts;
+      o.latency = name == "Voyager" ? opt.voyager_latency : 0;
+      o.trigger_sample = opt.nn_trigger_sample;
+      return std::make_unique<prefetch::LstmPrefetcher>(get_voyager(), o, name);
+    }
+    if (name == "DART-S") return make_dart(dart_s_variant(), false);
+    if (name == "DART") return make_dart(dart_variant(), true);
+    if (name == "DART-L") return make_dart(dart_l_variant(), false);
+    throw std::invalid_argument("unknown prefetcher: " + name);
+  };
+
+  std::vector<PrefetchCell> cells;
+  for (const std::string& name : opt.prefetchers) {
+    auto pf = make_prefetcher(name);
+    const sim::SimStats stats = simulator.run(raw, pf.get());
+    PrefetchCell cell;
+    cell.prefetcher = name;
+    cell.app = trace::app_name(app);
+    cell.stats = stats;
+    cell.baseline_ipc = base_ipc;
+    cell.ipc_improvement = base_ipc > 0.0 ? (stats.ipc() - base_ipc) / base_ipc : 0.0;
+    cell.storage_bytes = pf->storage_bytes();
+    cell.latency_cycles = pf->prediction_latency();
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+}  // namespace
+
+std::vector<PrefetchCell> evaluate_prefetchers(const std::vector<trace::App>& apps,
+                                               const PrefetchEvalOptions& options) {
+  std::vector<std::vector<PrefetchCell>> per_app(apps.size());
+  if (options.parallel_apps && apps.size() > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(apps.size());
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      threads.emplace_back([&, i] { per_app[i] = evaluate_app(apps[i], options); });
+    }
+    for (auto& t : threads) t.join();
+  } else {
+    for (std::size_t i = 0; i < apps.size(); ++i) per_app[i] = evaluate_app(apps[i], options);
+  }
+  std::vector<PrefetchCell> out;
+  for (auto& v : per_app) out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+std::vector<PrefetchSummary> summarize(const std::vector<PrefetchCell>& cells) {
+  std::vector<PrefetchSummary> order;
+  std::map<std::string, std::pair<PrefetchSummary, std::size_t>> agg;
+  for (const auto& c : cells) {
+    auto it = agg.find(c.prefetcher);
+    if (it == agg.end()) {
+      PrefetchSummary s;
+      s.prefetcher = c.prefetcher;
+      it = agg.emplace(c.prefetcher, std::make_pair(s, 0)).first;
+      order.push_back(s);  // reserve order slot
+    }
+    auto& [sum, n] = it->second;
+    sum.mean_accuracy += c.stats.accuracy();
+    sum.mean_coverage += c.stats.coverage();
+    sum.mean_ipc_improvement += c.ipc_improvement;
+    sum.storage_bytes = std::max(sum.storage_bytes, c.storage_bytes);
+    sum.latency_cycles = c.latency_cycles;
+    ++n;
+  }
+  for (auto& s : order) {
+    auto& [sum, n] = agg.at(s.prefetcher);
+    s = sum;
+    if (n > 0) {
+      s.mean_accuracy /= static_cast<double>(n);
+      s.mean_coverage /= static_cast<double>(n);
+      s.mean_ipc_improvement /= static_cast<double>(n);
+    }
+  }
+  return order;
+}
+
+}  // namespace dart::core

@@ -1,0 +1,60 @@
+// Shared driver for the prefetching evaluation (Figs. 12-14, Table IX):
+// trains per-app predictors once, instantiates every requested prefetcher,
+// runs the timing simulator, and returns per-(app, prefetcher) statistics
+// including IPC improvement over the no-prefetcher baseline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "sim/simulator.hpp"
+
+namespace dart::core {
+
+struct PrefetchCell {
+  std::string prefetcher;
+  std::string app;
+  sim::SimStats stats;
+  double baseline_ipc = 0.0;
+  double ipc_improvement = 0.0;  ///< (ipc - baseline) / baseline
+  std::size_t storage_bytes = 0;
+  std::size_t latency_cycles = 0;
+};
+
+struct PrefetchEvalOptions {
+  PipelineOptions pipeline = PipelineOptions::bench_defaults();
+  /// Which prefetchers to run. Known names: NextLine, Stride, BO, ISB,
+  /// TransFetch, TransFetch-I, Voyager, Voyager-I, DART-S, DART, DART-L.
+  std::vector<std::string> prefetchers = {"BO",        "ISB",       "TransFetch",
+                                          "Voyager",   "TransFetch-I", "Voyager-I",
+                                          "DART-S",    "DART",      "DART-L"};
+  std::size_t transfetch_latency = 4500;   ///< Table IX
+  std::size_t voyager_latency = 27700;     ///< Table IX
+  /// Simulation-cost sampling for the heavyweight NN baselines: run their
+  /// (expensive CPU-side) inference on every Nth LLC access. Applied to the
+  /// ideal variants too, so comparisons stay fair.
+  std::size_t nn_trigger_sample = 4;
+  bool parallel_apps = true;
+};
+
+/// Runs the full sweep over `apps`. Results are ordered app-major in the
+/// order given, prefetchers in the order requested.
+std::vector<PrefetchCell> evaluate_prefetchers(const std::vector<trace::App>& apps,
+                                               const PrefetchEvalOptions& options);
+
+/// Mean IPC improvement / accuracy / coverage per prefetcher, preserving
+/// request order.
+struct PrefetchSummary {
+  std::string prefetcher;
+  double mean_accuracy = 0.0;
+  double mean_coverage = 0.0;
+  double mean_ipc_improvement = 0.0;
+  std::size_t storage_bytes = 0;
+  std::size_t latency_cycles = 0;
+};
+
+std::vector<PrefetchSummary> summarize(const std::vector<PrefetchCell>& cells);
+
+}  // namespace dart::core

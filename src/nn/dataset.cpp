@@ -1,0 +1,47 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace dart::nn {
+
+namespace {
+Tensor gather_rows(const Tensor& t, const std::vector<std::size_t>& idx) {
+  const std::size_t row_sz = t.numel() / t.dim(0);
+  auto shape = t.shape();
+  shape[0] = idx.size();
+  Tensor out(shape);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const float* src = t.data() + idx[i] * row_sz;
+    float* dst = out.data() + i * row_sz;
+    std::copy(src, src + row_sz, dst);
+  }
+  return out;
+}
+}  // namespace
+
+Dataset Dataset::slice(std::size_t begin, std::size_t end) const {
+  if (end > size() || begin > end) throw std::out_of_range("Dataset::slice");
+  std::vector<std::size_t> idx(end - begin);
+  std::iota(idx.begin(), idx.end(), begin);
+  return Dataset{gather_rows(addr, idx), gather_rows(pc, idx), gather_rows(labels, idx)};
+}
+
+void Dataset::shuffle(std::uint64_t seed) {
+  std::vector<std::size_t> idx(size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::mt19937_64 eng(seed);
+  std::shuffle(idx.begin(), idx.end(), eng);
+  addr = gather_rows(addr, idx);
+  pc = gather_rows(pc, idx);
+  labels = gather_rows(labels, idx);
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_frac) const {
+  const auto n_train = static_cast<std::size_t>(static_cast<double>(size()) * train_frac);
+  return {slice(0, n_train), slice(n_train, size())};
+}
+
+}  // namespace dart::nn

@@ -1,0 +1,31 @@
+// Supervised dataset for memory-access prediction: aligned segmented-address
+// and segmented-PC input windows plus delta-bitmap labels (§VI-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace dart::nn {
+
+struct Dataset {
+  Tensor addr;    ///< [N, T, S_addr] normalized address segments
+  Tensor pc;      ///< [N, T, S_pc] normalized PC segments
+  Tensor labels;  ///< [N, DO] delta bitmap (0/1)
+
+  std::size_t size() const { return addr.empty() ? 0 : addr.dim(0); }
+
+  /// Copies rows [begin, end) into a contiguous mini-batch.
+  Dataset slice(std::size_t begin, std::size_t end) const;
+
+  /// Deterministically shuffles all three tensors with the same permutation.
+  void shuffle(std::uint64_t seed);
+
+  /// Splits into (train, test) at `train_frac` (no shuffling; callers shuffle
+  /// first if they want a random split — trace data is temporally ordered and
+  /// the paper-style protocol trains on the prefix, tests on the suffix).
+  std::pair<Dataset, Dataset> split(double train_frac) const;
+};
+
+}  // namespace dart::nn

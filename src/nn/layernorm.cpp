@@ -1,0 +1,118 @@
+#include "nn/layernorm.hpp"
+
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+
+namespace dart::nn {
+
+LayerNorm::LayerNorm(std::size_t dim, float eps, std::string name) : dim_(dim), eps_(eps) {
+  Tensor g({dim});
+  g.fill(1.0f);
+  gamma_ = Param(std::move(g), name + ".gamma");
+  beta_ = Param(Tensor({dim}), name + ".beta");
+}
+
+namespace {
+void normalize_rows(const Tensor& x, std::size_t dim, float eps, const Tensor& gamma,
+                    const Tensor& beta, Tensor& y, Tensor* xhat, Tensor* inv_std) {
+  const std::size_t m = x.numel() / dim;
+  if (y.numel() != x.numel()) y = Tensor({m, dim});
+  const float* px = x.data();
+  float* py = y.data();
+  float* pxh = xhat != nullptr ? xhat->data() : nullptr;
+  float* pis = inv_std != nullptr ? inv_std->data() : nullptr;
+  const float* pg = gamma.data();
+  const float* pb = beta.data();
+  dart::common::parallel_for(
+      m,
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          const float* row = px + i * dim;
+          float mean = 0.0f;
+          for (std::size_t j = 0; j < dim; ++j) mean += row[j];
+          mean /= static_cast<float>(dim);
+          float var = 0.0f;
+          for (std::size_t j = 0; j < dim; ++j) {
+            const float d = row[j] - mean;
+            var += d * d;
+          }
+          var /= static_cast<float>(dim);
+          const float is = 1.0f / std::sqrt(var + eps);
+          if (pis != nullptr) pis[i] = is;
+          float* yrow = py + i * dim;
+          for (std::size_t j = 0; j < dim; ++j) {
+            const float xh = (row[j] - mean) * is;
+            if (pxh != nullptr) pxh[i * dim + j] = xh;
+            yrow[j] = xh * pg[j] + pb[j];
+          }
+        }
+      },
+      64);
+}
+}  // namespace
+
+Tensor LayerNorm::forward(const Tensor& x) {
+  cached_shape_ = x.shape();
+  const std::size_t m = x.numel() / dim_;
+  cached_xhat_ = Tensor({m, dim_});
+  cached_inv_std_ = Tensor({m});
+  Tensor y;
+  normalize_rows(x, dim_, eps_, gamma_.value, beta_.value, y, &cached_xhat_, &cached_inv_std_);
+  y.reshape(cached_shape_);
+  return y;
+}
+
+Tensor LayerNorm::apply(const Tensor& x) const {
+  Tensor y;
+  normalize_rows(x, dim_, eps_, gamma_.value, beta_.value, y, nullptr, nullptr);
+  y.reshape(x.shape());
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  const std::size_t m = grad_out.numel() / dim_;
+  Tensor dy = grad_out.reshaped({m, dim_});
+  Tensor dx({m, dim_});
+  float* pdg = gamma_.grad.data();
+  float* pdb = beta_.grad.data();
+  const float* pg = gamma_.value.data();
+  // Parameter grads are reductions over rows; accumulate serially (m is small
+  // relative to the matmuls, and this keeps the accumulation race-free).
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* dyrow = dy.row(i);
+    const float* xhrow = cached_xhat_.row(i);
+    for (std::size_t j = 0; j < dim_; ++j) {
+      pdg[j] += dyrow[j] * xhrow[j];
+      pdb[j] += dyrow[j];
+    }
+  }
+  common::parallel_for(
+      m,
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          const float* dyrow = dy.row(i);
+          const float* xhrow = cached_xhat_.row(i);
+          float* dxrow = dx.row(i);
+          // Standard LN backward: dx = inv_std/D * (D*g1 - sum(g1) - xhat*sum(g1*xhat))
+          // where g1 = dy * gamma.
+          float sum_g1 = 0.0f, sum_g1_xhat = 0.0f;
+          for (std::size_t j = 0; j < dim_; ++j) {
+            const float g1 = dyrow[j] * pg[j];
+            sum_g1 += g1;
+            sum_g1_xhat += g1 * xhrow[j];
+          }
+          const float inv_d = 1.0f / static_cast<float>(dim_);
+          const float is = cached_inv_std_[i];
+          for (std::size_t j = 0; j < dim_; ++j) {
+            const float g1 = dyrow[j] * pg[j];
+            dxrow[j] = is * (g1 - inv_d * sum_g1 - xhrow[j] * inv_d * sum_g1_xhat);
+          }
+        }
+      },
+      64);
+  dx.reshape(cached_shape_);
+  return dx;
+}
+
+}  // namespace dart::nn

@@ -1,0 +1,37 @@
+// Layer normalization over the last dimension with learned scale/shift.
+//
+// In the tabular model this layer is kept as-is (Algorithm 1, line 18): it is
+// dimension-wise arithmetic with no matrix multiplication, so tabularization
+// leaves it untouched and the complexity model charges it a constant latency.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace dart::nn {
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::size_t dim, float eps = 1e-5f, std::string name = "ln");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+
+  /// Stateless apply with current parameters.
+  Tensor apply(const Tensor& x) const;
+
+  std::size_t dim() const { return dim_; }
+  const Tensor& gamma() const { return gamma_.value; }
+  const Tensor& beta() const { return beta_.value; }
+
+ private:
+  std::size_t dim_;
+  float eps_;
+  Param gamma_;  // [dim]
+  Param beta_;   // [dim]
+  Tensor cached_xhat_;  // normalized input, flattened [m, dim]
+  Tensor cached_inv_std_;  // [m]
+  std::vector<std::size_t> cached_shape_;
+};
+
+}  // namespace dart::nn

@@ -1,0 +1,98 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/ops.hpp"
+
+namespace dart::nn {
+
+namespace {
+constexpr float kEps = 1e-7f;
+
+void check_same(const Tensor& a, const Tensor& b, const char* where) {
+  if (a.numel() != b.numel()) {
+    throw std::invalid_argument(std::string(where) + ": size mismatch");
+  }
+}
+}  // namespace
+
+double bce_with_logits(const Tensor& logits, const Tensor& targets, Tensor& d_logits,
+                       float pos_weight) {
+  check_same(logits, targets, "bce_with_logits");
+  if (d_logits.numel() != logits.numel()) d_logits = Tensor(logits.shape());
+  const std::size_t n = logits.numel();
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float z = logits[i];
+    const float y = targets[i];
+    const float w = y >= 0.5f ? pos_weight : 1.0f;
+    // Numerically stable log(1 + e^-|z|) formulation.
+    const float abs_z = std::fabs(z);
+    loss += w * (std::max(z, 0.0f) - z * y + std::log1p(std::exp(-abs_z)));
+    // d/dz of w * BCE: positives get w*(sigma-1), negatives sigma.
+    const float sig = ops::sigmoid(z);
+    d_logits[i] = (y >= 0.5f ? w * (sig - 1.0f) : sig) * inv_n;
+  }
+  return loss / static_cast<double>(n);
+}
+
+double mse_loss(const Tensor& pred, const Tensor& target, Tensor& d_pred) {
+  check_same(pred, target, "mse_loss");
+  if (d_pred.numel() != pred.numel()) d_pred = Tensor(pred.shape());
+  const std::size_t n = pred.numel();
+  double loss = 0.0;
+  const float scale = 2.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred[i] - target[i];
+    loss += static_cast<double>(d) * d;
+    d_pred[i] = scale * d;
+  }
+  return loss / static_cast<double>(n);
+}
+
+Tensor t_sigmoid(const Tensor& logits, float temperature) {
+  Tensor out(logits.shape());
+  const float inv_t = 1.0f / temperature;
+  for (std::size_t i = 0; i < logits.numel(); ++i) out[i] = ops::sigmoid(logits[i] * inv_t);
+  return out;
+}
+
+double kd_loss(const Tensor& student_logits, const Tensor& teacher_logits, float temperature,
+               Tensor& d_student_logits) {
+  check_same(student_logits, teacher_logits, "kd_loss");
+  if (d_student_logits.numel() != student_logits.numel()) {
+    d_student_logits = Tensor(student_logits.shape());
+  }
+  const std::size_t n = student_logits.numel();
+  const float inv_t = 1.0f / temperature;
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float pt = ops::sigmoid(teacher_logits[i] * inv_t);
+    float ps = ops::sigmoid(student_logits[i] * inv_t);
+    pt = std::min(std::max(pt, kEps), 1.0f - kEps);
+    ps = std::min(std::max(ps, kEps), 1.0f - kEps);
+    // Binary KL( (pt, 1-pt) || (ps, 1-ps) ).
+    loss += pt * std::log(pt / ps) + (1.0f - pt) * std::log((1.0f - pt) / (1.0f - ps));
+    // d/dzs = (ps - pt) / T   (the classic distillation gradient), averaged.
+    d_student_logits[i] = (ps - pt) * inv_t * inv_n;
+  }
+  return loss / static_cast<double>(n);
+}
+
+double distillation_loss(const Tensor& student_logits, const Tensor& teacher_logits,
+                         const Tensor& targets, float temperature, float lambda,
+                         Tensor& d_logits) {
+  Tensor d_bce, d_kd;
+  const double bce = bce_with_logits(student_logits, targets, d_bce);
+  const double kd = kd_loss(student_logits, teacher_logits, temperature, d_kd);
+  if (d_logits.numel() != student_logits.numel()) d_logits = Tensor(student_logits.shape());
+  for (std::size_t i = 0; i < d_logits.numel(); ++i) {
+    d_logits[i] = lambda * d_kd[i] + (1.0f - lambda) * d_bce[i];
+  }
+  return lambda * kd + (1.0 - lambda) * bce;
+}
+
+}  // namespace dart::nn

@@ -1,0 +1,38 @@
+// Loss functions for multi-label training and knowledge distillation.
+//
+// BCE-with-logits is the paper's training loss (§VI-B); the KD loss is the
+// paper's Eq. 24-25: T-Sigmoid softened probabilities compared with a
+// per-label binary KL divergence, mixed with BCE by λ.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace dart::nn {
+
+/// Binary cross-entropy over logits. Returns mean loss; `d_logits` (same
+/// shape as `logits`) receives dL/dlogits. `pos_weight` scales the loss and
+/// gradient of positive labels — delta bitmaps are extremely sparse on
+/// irregular workloads (mcf sets <1% of bits), and unweighted BCE collapses
+/// to the all-negative predictor there.
+double bce_with_logits(const Tensor& logits, const Tensor& targets, Tensor& d_logits,
+                       float pos_weight = 1.0f);
+
+/// Mean squared error. Returns mean loss; fills dL/dpred.
+double mse_loss(const Tensor& pred, const Tensor& target, Tensor& d_pred);
+
+/// T-Sigmoid (Eq. 24): sigmoid(y / temperature), elementwise.
+Tensor t_sigmoid(const Tensor& logits, float temperature);
+
+/// Knowledge-distillation loss (Eq. 25): per-label binary KL between the
+/// T-Sigmoid outputs of teacher and student, averaged; gradient flows to the
+/// student logits only. Returns the KD loss term.
+double kd_loss(const Tensor& student_logits, const Tensor& teacher_logits, float temperature,
+               Tensor& d_student_logits);
+
+/// Combined loss: λ * KD + (1-λ) * BCE (Eq. 25). Fills d_logits with the
+/// mixed gradient and returns the combined scalar loss.
+double distillation_loss(const Tensor& student_logits, const Tensor& teacher_logits,
+                         const Tensor& targets, float temperature, float lambda,
+                         Tensor& d_logits);
+
+}  // namespace dart::nn

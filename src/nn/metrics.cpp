@@ -1,0 +1,54 @@
+#include "nn/metrics.hpp"
+
+#include <stdexcept>
+
+#include "nn/ops.hpp"
+
+namespace dart::nn {
+
+namespace {
+F1Result f1_from_counts(std::size_t tp, std::size_t fp, std::size_t fn) {
+  F1Result r;
+  r.true_pos = tp;
+  r.false_pos = fp;
+  r.false_neg = fn;
+  r.precision = (tp + fp) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0.0;
+  r.recall = (tp + fn) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+  r.f1 = (r.precision + r.recall) > 0.0
+             ? 2.0 * r.precision * r.recall / (r.precision + r.recall)
+             : 0.0;
+  return r;
+}
+}  // namespace
+
+F1Result f1_score_from_logits(const Tensor& logits, const Tensor& targets, float threshold) {
+  if (logits.numel() != targets.numel()) {
+    throw std::invalid_argument("f1_score: size mismatch");
+  }
+  std::size_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const bool pred = ops::sigmoid(logits[i]) >= threshold;
+    const bool truth = targets[i] >= 0.5f;
+    if (pred && truth) ++tp;
+    else if (pred && !truth) ++fp;
+    else if (!pred && truth) ++fn;
+  }
+  return f1_from_counts(tp, fp, fn);
+}
+
+F1Result f1_score_from_probs(const Tensor& probs, const Tensor& targets, float threshold) {
+  if (probs.numel() != targets.numel()) {
+    throw std::invalid_argument("f1_score: size mismatch");
+  }
+  std::size_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < probs.numel(); ++i) {
+    const bool pred = probs[i] >= threshold;
+    const bool truth = targets[i] >= 0.5f;
+    if (pred && truth) ++tp;
+    else if (pred && !truth) ++fp;
+    else if (!pred && truth) ++fn;
+  }
+  return f1_from_counts(tp, fp, fn);
+}
+
+}  // namespace dart::nn

@@ -1,0 +1,27 @@
+// Evaluation metrics: micro-averaged F1 for multi-label prediction (the
+// paper's prediction metric, §VII-A4) and cosine similarity (Fig. 11).
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace dart::nn {
+
+struct F1Result {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t true_pos = 0;
+  std::size_t false_pos = 0;
+  std::size_t false_neg = 0;
+};
+
+/// Micro-averaged F1 over all (sample, label) pairs; a label fires when
+/// sigmoid(logit) >= threshold.
+F1Result f1_score_from_logits(const Tensor& logits, const Tensor& targets,
+                              float threshold = 0.5f);
+
+/// Micro-averaged F1 when predictions are already probabilities/bits.
+F1Result f1_score_from_probs(const Tensor& probs, const Tensor& targets,
+                             float threshold = 0.5f);
+
+}  // namespace dart::nn

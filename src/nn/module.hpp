@@ -1,0 +1,58 @@
+// Base types for trainable layers.
+//
+// The training stack uses explicit per-layer forward/backward (no autograd
+// tape): each module caches what it needs during forward and consumes a
+// gradient-w.r.t.-output in backward, accumulating parameter gradients and
+// returning the gradient w.r.t. its input. This keeps the memory model
+// obvious and the code auditable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace dart::nn {
+
+/// A trainable parameter: value plus accumulated gradient.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  std::string name;
+
+  Param() = default;
+  Param(Tensor v, std::string n) : value(std::move(v)), grad(value.shape()), name(std::move(n)) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+/// Interface for layers operating on a single input tensor.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes the layer output, caching activations needed by backward.
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Consumes dL/d(output), accumulates parameter grads, returns dL/d(input).
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// All trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  void zero_grad() {
+    for (Param* p : params()) p->zero_grad();
+  }
+};
+
+/// Collects parameters from several modules into one flat list.
+inline std::vector<Param*> collect_params(const std::vector<Module*>& modules) {
+  std::vector<Param*> out;
+  for (Module* m : modules) {
+    auto ps = m->params();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+}  // namespace dart::nn

@@ -1,0 +1,173 @@
+#include "nn/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace dart::nn::ops {
+
+namespace {
+void check2d(const Tensor& t, const char* name) {
+  if (t.ndim() != 2) throw std::invalid_argument(std::string(name) + ": expected 2-D tensor");
+}
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  check2d(a, "matmul A");
+  check2d(b, "matmul B");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dim mismatch");
+  if (c.ndim() != 2 || c.dim(0) != m || c.dim(1) != n) c = Tensor({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  common::parallel_for(
+      m,
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          float* crow = pc + i * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+          const float* arow = pa + i * k;
+          // ikj order: inner loop over j is contiguous in B and C, which the
+          // compiler auto-vectorizes.
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            const float* brow = pb + kk * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      16);
+}
+
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) {
+  check2d(a, "matmul_nt A");
+  check2d(b, "matmul_nt B");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner dim mismatch");
+  if (c.ndim() != 2 || c.dim(0) != m || c.dim(1) != n) c = Tensor({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  common::parallel_for(
+      m,
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          const float* arow = pa + i * k;
+          float* crow = pc + i * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+          }
+        }
+      },
+      16);
+}
+
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c) {
+  check2d(a, "matmul_tn A");
+  check2d(b, "matmul_tn B");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != m) throw std::invalid_argument("matmul_tn: outer dim mismatch");
+  if (c.ndim() != 2 || c.dim(0) != k || c.dim(1) != n) c = Tensor({k, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  common::parallel_for(
+      k,
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          float* crow = pc + i * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+          for (std::size_t mm = 0; mm < m; ++mm) {
+            const float av = pa[mm * k + i];
+            const float* brow = pb + mm * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      16);
+}
+
+void linear_forward(const Tensor& x, const Tensor& w, const Tensor& b, Tensor& y) {
+  check2d(x, "linear x");
+  check2d(w, "linear W");
+  const std::size_t m = x.dim(0), din = x.dim(1), dout = w.dim(0);
+  if (w.dim(1) != din) throw std::invalid_argument("linear_forward: W/x dim mismatch");
+  if (b.numel() != dout) throw std::invalid_argument("linear_forward: bias dim mismatch");
+  matmul_nt(x, w, y);
+  const float* pb = b.data();
+  float* py = y.data();
+  common::parallel_for(
+      m,
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          float* yrow = py + i * dout;
+          for (std::size_t j = 0; j < dout; ++j) yrow[j] += pb[j];
+        }
+      },
+      64);
+}
+
+void softmax_rows(Tensor& x) {
+  check2d(x, "softmax x");
+  const std::size_t m = x.dim(0), n = x.dim(1);
+  float* px = x.data();
+  common::parallel_for(
+      m,
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          float* row = px + i * n;
+          float mx = row[0];
+          for (std::size_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+          float denom = 0.0f;
+          for (std::size_t j = 0; j < n; ++j) {
+            row[j] = std::exp(row[j] - mx);
+            denom += row[j];
+          }
+          const float inv = 1.0f / denom;
+          for (std::size_t j = 0; j < n; ++j) row[j] *= inv;
+        }
+      },
+      64);
+}
+
+float sigmoid(float x) {
+  if (x >= 0.0f) {
+    return 1.0f / (1.0f + std::exp(-x));
+  }
+  const float e = std::exp(x);
+  return e / (1.0f + e);
+}
+
+void relu(const Tensor& x, Tensor& y) {
+  if (y.numel() != x.numel()) y = Tensor(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void sigmoid(const Tensor& x, Tensor& y) {
+  if (y.numel() != x.numel()) y = Tensor(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) y[i] = sigmoid(x[i]);
+}
+
+void relu_backward(const Tensor& x, const Tensor& dy, Tensor& dx) {
+  if (dx.numel() != x.numel()) dx = Tensor(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+double cosine_similarity(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel() || a.numel() == 0) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace dart::nn::ops

@@ -1,0 +1,69 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace dart::nn {
+
+Sgd::Sgd(std::vector<Param*> params, float lr, float momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Param* p : params_) velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param* p = params_[pi];
+    if (momentum_ > 0.0f) {
+      Tensor& vel = velocity_[pi];
+      for (std::size_t i = 0; i < p->value.numel(); ++i) {
+        vel[i] = momentum_ * vel[i] + p->grad[i];
+        p->value[i] -= lr_ * vel[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < p->value.numel(); ++i) {
+        p->value[i] -= lr_ * p->grad[i];
+      }
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2, float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param* p = params_[pi];
+    Tensor& m = m_[pi];
+    Tensor& v = v_[pi];
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+}  // namespace dart::nn

@@ -1,0 +1,33 @@
+// Model checkpointing: save/load the flat parameter list of any predictor
+// exposing params(). Binary format: magic, count, then per parameter a
+// name, shape, and raw float payload. Loading validates names and shapes
+// against the constructed architecture, so a checkpoint can never be
+// silently applied to the wrong model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dart::nn {
+
+/// Writes `params` to `path`. Returns false on I/O failure.
+bool save_params(const std::vector<Param*>& params, const std::string& path);
+
+/// Reads a checkpoint into `params`; names, order, and shapes must match.
+/// Throws std::runtime_error on format or shape mismatch.
+void load_params(const std::vector<Param*>& params, const std::string& path);
+
+/// Convenience wrappers for any model with a params() method.
+template <typename Model>
+bool save_model(Model& model, const std::string& path) {
+  return save_params(model.params(), path);
+}
+
+template <typename Model>
+void load_model(Model& model, const std::string& path) {
+  load_params(model.params(), path);
+}
+
+}  // namespace dart::nn

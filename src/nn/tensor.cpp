@@ -1,0 +1,91 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+namespace dart::nn {
+
+namespace {
+std::size_t shape_numel(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (auto d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(new_shape));
+  return t;
+}
+
+void Tensor::reshape(std::vector<std::size_t> new_shape) {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshape: numel mismatch " + shape_str());
+  }
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  if (other.numel() != numel()) throw std::invalid_argument("Tensor::+=: numel mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  if (other.numel() != numel()) throw std::invalid_argument("Tensor::-=: numel mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+double Tensor::sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0); }
+
+double Tensor::mean() const { return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size()); }
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (auto v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, float stddev, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  std::mt19937_64 eng(seed);
+  std::normal_distribution<float> dist(0.0f, stddev);
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = dist(eng);
+  return t;
+}
+
+Tensor Tensor::rand_uniform(std::vector<std::size_t> shape, float bound, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  std::mt19937_64 eng(seed);
+  std::uniform_real_distribution<float> dist(-bound, bound);
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = dist(eng);
+  return t;
+}
+
+}  // namespace dart::nn

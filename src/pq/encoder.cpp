@@ -1,0 +1,91 @@
+#include "pq/encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "pq/kmeans.hpp"
+
+namespace dart::pq {
+
+ExactEncoder::ExactEncoder(nn::Tensor prototypes) : prototypes_(std::move(prototypes)) {
+  if (prototypes_.ndim() != 2) throw std::invalid_argument("ExactEncoder: prototypes must be 2-D");
+}
+
+std::uint32_t ExactEncoder::encode(const float* row) const {
+  return nearest_centroid(row, prototypes_);
+}
+
+HashTreeEncoder::HashTreeEncoder(const nn::Tensor& prototypes) {
+  if (prototypes.ndim() != 2) throw std::invalid_argument("HashTreeEncoder: prototypes must be 2-D");
+  k_ = prototypes.dim(0);
+  v_ = prototypes.dim(1);
+  depth_ = 0;
+  while ((1ULL << depth_) < k_) ++depth_;
+  // Full heap with 2^depth leaves.
+  nodes_.assign((1ULL << (depth_ + 1)) - 1, Node{});
+  std::vector<std::uint32_t> all(k_);
+  std::iota(all.begin(), all.end(), 0);
+  build(std::move(all), prototypes, 0);
+}
+
+void HashTreeEncoder::build(std::vector<std::uint32_t> protos, const nn::Tensor& prototypes,
+                            std::size_t node_idx) {
+  Node& node = nodes_[node_idx];
+  if (protos.size() == 1 || 2 * node_idx + 2 >= nodes_.size()) {
+    node.proto = static_cast<std::int32_t>(protos.front());
+    return;
+  }
+  // Pick the dimension with the largest variance among this node's protos.
+  std::size_t best_dim = 0;
+  double best_var = -1.0;
+  for (std::size_t d = 0; d < v_; ++d) {
+    double mean = 0.0;
+    for (auto p : protos) mean += prototypes.at(p, d);
+    mean /= static_cast<double>(protos.size());
+    double var = 0.0;
+    for (auto p : protos) {
+      const double diff = prototypes.at(p, d) - mean;
+      var += diff * diff;
+    }
+    if (var > best_var) {
+      best_var = var;
+      best_dim = d;
+    }
+  }
+  // Median split (by sorted order, so ties still split evenly).
+  std::sort(protos.begin(), protos.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return prototypes.at(a, best_dim) < prototypes.at(b, best_dim);
+  });
+  const std::size_t mid = protos.size() / 2;
+  node.split_dim = static_cast<std::uint32_t>(best_dim);
+  node.threshold =
+      0.5f * (prototypes.at(protos[mid - 1], best_dim) + prototypes.at(protos[mid], best_dim));
+  std::vector<std::uint32_t> left(protos.begin(), protos.begin() + mid);
+  std::vector<std::uint32_t> right(protos.begin() + mid, protos.end());
+  build(std::move(left), prototypes, 2 * node_idx + 1);
+  build(std::move(right), prototypes, 2 * node_idx + 2);
+}
+
+std::uint32_t HashTreeEncoder::encode(const float* row) const {
+  std::size_t idx = 0;
+  while (nodes_[idx].proto < 0) {
+    const Node& n = nodes_[idx];
+    idx = row[n.split_dim] <= n.threshold ? 2 * idx + 1 : 2 * idx + 2;
+  }
+  return static_cast<std::uint32_t>(nodes_[idx].proto);
+}
+
+std::unique_ptr<Encoder> make_encoder(EncoderKind kind, const nn::Tensor& prototypes) {
+  switch (kind) {
+    case EncoderKind::kExact:
+      return std::make_unique<ExactEncoder>(prototypes);
+    case EncoderKind::kHashTree:
+      return std::make_unique<HashTreeEncoder>(prototypes);
+  }
+  throw std::invalid_argument("make_encoder: unknown kind");
+}
+
+}  // namespace dart::pq

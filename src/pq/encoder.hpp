@@ -1,0 +1,92 @@
+// Vector encoders: map a subvector to the index of its (approximately)
+// nearest prototype (the paper's g function, Eq. 7).
+//
+// Two implementations:
+//  * ExactEncoder — brute-force argmin over K prototypes (O(K·V)).
+//  * HashTreeEncoder — balanced binary decision tree over the prototypes
+//    with one scalar comparison per level (O(log K)), standing in for the
+//    locality-sensitive hashing of MADDNESS [24] that the paper's latency
+//    model assumes (Eq. 16: L_g = log K).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace dart::pq {
+
+/// Interface for per-subspace prototype encoders.
+class Encoder {
+ public:
+  virtual ~Encoder() = default;
+
+  /// Index in [0, K) of the chosen prototype for `row` (length V).
+  virtual std::uint32_t encode(const float* row) const = 0;
+
+  virtual std::size_t num_prototypes() const = 0;
+  virtual std::size_t vec_dim() const = 0;
+
+  /// Scalar comparisons performed per encode (the latency model's cost).
+  virtual std::size_t comparisons_per_encode() const = 0;
+};
+
+/// Brute-force nearest prototype.
+class ExactEncoder final : public Encoder {
+ public:
+  explicit ExactEncoder(nn::Tensor prototypes);
+
+  std::uint32_t encode(const float* row) const override;
+  std::size_t num_prototypes() const override { return prototypes_.dim(0); }
+  std::size_t vec_dim() const override { return prototypes_.dim(1); }
+  std::size_t comparisons_per_encode() const override {
+    return num_prototypes() * vec_dim();
+  }
+
+  const nn::Tensor& prototypes() const { return prototypes_; }
+
+ private:
+  nn::Tensor prototypes_;
+};
+
+/// Balanced binary hash tree: each internal node compares one input
+/// dimension against a threshold; leaves hold prototype indices.
+///
+/// Built by recursively splitting the prototype set at the median of its
+/// highest-variance dimension, so lookups cost exactly ceil(log2 K)
+/// comparisons. This trades a small accuracy loss for O(log K) encoding
+/// (ablated in bench_ablation_encoders).
+class HashTreeEncoder final : public Encoder {
+ public:
+  explicit HashTreeEncoder(const nn::Tensor& prototypes);
+
+  std::uint32_t encode(const float* row) const override;
+  std::size_t num_prototypes() const override { return k_; }
+  std::size_t vec_dim() const override { return v_; }
+  std::size_t comparisons_per_encode() const override { return depth_; }
+
+ private:
+  struct Node {
+    // Internal node: split dimension + threshold; children at 2i+1 / 2i+2
+    // in the flattened heap layout. Leaf: proto >= 0.
+    std::uint32_t split_dim = 0;
+    float threshold = 0.0f;
+    std::int32_t proto = -1;
+  };
+
+  void build(std::vector<std::uint32_t> protos, const nn::Tensor& prototypes,
+             std::size_t node_idx);
+
+  std::vector<Node> nodes_;
+  std::size_t k_ = 0;
+  std::size_t v_ = 0;
+  std::size_t depth_ = 0;
+};
+
+/// Factory choice used across the tabular stack.
+enum class EncoderKind { kExact, kHashTree };
+
+std::unique_ptr<Encoder> make_encoder(EncoderKind kind, const nn::Tensor& prototypes);
+
+}  // namespace dart::pq

@@ -1,0 +1,148 @@
+#include "pq/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace dart::pq {
+
+namespace {
+float sq_dist(const float* a, const float* b, std::size_t v) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < v; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+}  // namespace
+
+std::uint32_t nearest_centroid(const float* row, const nn::Tensor& centroids) {
+  const std::size_t k = centroids.dim(0), v = centroids.dim(1);
+  std::uint32_t best = 0;
+  float best_d = std::numeric_limits<float>::max();
+  for (std::size_t c = 0; c < k; ++c) {
+    const float d = sq_dist(row, centroids.row(c), v);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<std::uint32_t>(c);
+    }
+  }
+  return best;
+}
+
+KMeansResult kmeans(const nn::Tensor& data, std::size_t k, const KMeansOptions& opt) {
+  if (data.ndim() != 2) throw std::invalid_argument("kmeans: data must be 2-D");
+  if (k == 0) throw std::invalid_argument("kmeans: k must be positive");
+  const std::size_t n = data.dim(0), v = data.dim(1);
+
+  KMeansResult res;
+  res.centroids = nn::Tensor({k, v});
+  res.assignment.assign(n, 0);
+  std::mt19937_64 eng(opt.seed);
+
+  // --- k-means++ seeding -------------------------------------------------
+  std::vector<float> min_d(n, std::numeric_limits<float>::max());
+  {
+    std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+    const std::size_t first = n > 0 ? pick(eng) : 0;
+    std::copy(data.row(first), data.row(first) + v, res.centroids.row(0));
+  }
+  for (std::size_t c = 1; c < k; ++c) {
+    const float* prev = res.centroids.row(c - 1);
+    common::parallel_for(n, [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t i = r0; i < r1; ++i) {
+        min_d[i] = std::min(min_d[i], sq_dist(data.row(i), prev, v));
+      }
+    });
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total += min_d[i];
+    if (total <= 0.0 || n < k) {
+      // Degenerate data (or fewer rows than centroids): sample uniformly.
+      std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+      const std::size_t j = pick(eng);
+      std::copy(data.row(j), data.row(j) + v, res.centroids.row(c));
+      continue;
+    }
+    std::uniform_real_distribution<double> u(0.0, total);
+    double target = u(eng), cum = 0.0;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      cum += min_d[i];
+      if (cum >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    std::copy(data.row(chosen), data.row(chosen) + v, res.centroids.row(c));
+  }
+
+  // --- Lloyd iterations ---------------------------------------------------
+  double prev_inertia = std::numeric_limits<double>::max();
+  std::vector<double> sums(k * v);
+  std::vector<std::size_t> counts(k);
+  for (std::size_t iter = 0; iter < opt.max_iters; ++iter) {
+    res.iterations = iter + 1;
+    // Assignment (parallel over rows).
+    std::vector<double> block_inertia(n > 0 ? 1 : 0);
+    double inertia = 0.0;
+    {
+      std::vector<float> dist(n, 0.0f);
+      common::parallel_for(n, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          const float* row = data.row(i);
+          std::uint32_t best = 0;
+          float best_d = std::numeric_limits<float>::max();
+          for (std::size_t c = 0; c < k; ++c) {
+            const float d = sq_dist(row, res.centroids.row(c), v);
+            if (d < best_d) {
+              best_d = d;
+              best = static_cast<std::uint32_t>(c);
+            }
+          }
+          res.assignment[i] = best;
+          dist[i] = best_d;
+        }
+      });
+      for (std::size_t i = 0; i < n; ++i) inertia += dist[i];
+    }
+    res.inertia = inertia;
+
+    // Update (serial accumulation; n*v work, cheap relative to assignment).
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = res.assignment[i];
+      const float* row = data.row(i);
+      double* s = sums.data() + static_cast<std::size_t>(c) * v;
+      for (std::size_t j = 0; j < v; ++j) s[j] += row[j];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty clusters from a random row to keep K live prototypes.
+        std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+        const std::size_t j = pick(eng);
+        std::copy(data.row(j), data.row(j) + v, res.centroids.row(c));
+        continue;
+      }
+      float* dst = res.centroids.row(c);
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      const double* s = sums.data() + c * v;
+      for (std::size_t j = 0; j < v; ++j) dst[j] = static_cast<float>(s[j] * inv);
+    }
+
+    if (prev_inertia < std::numeric_limits<double>::max()) {
+      const double rel =
+          prev_inertia > 0.0 ? (prev_inertia - inertia) / prev_inertia : 0.0;
+      if (rel >= 0.0 && rel < opt.tol) break;
+    }
+    prev_inertia = inertia;
+  }
+  return res;
+}
+
+}  // namespace dart::pq

@@ -1,0 +1,35 @@
+// K-means clustering (k-means++ seeding + Lloyd iterations) — the prototype
+// learner of product quantization (the paper's Eq. 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace dart::pq {
+
+struct KMeansResult {
+  nn::Tensor centroids;              ///< [K, V]
+  std::vector<std::uint32_t> assignment;  ///< per-row nearest centroid
+  double inertia = 0.0;              ///< sum of squared distances
+  std::size_t iterations = 0;        ///< Lloyd iterations actually run
+};
+
+struct KMeansOptions {
+  std::size_t max_iters = 12;
+  double tol = 1e-4;   ///< relative inertia improvement stop criterion
+  std::uint64_t seed = 1;
+};
+
+/// Clusters the rows of `data` ([N, V]) into `k` centroids.
+///
+/// Deterministic for a fixed seed. When N < k the surplus centroids are
+/// duplicated from sampled rows (keeps downstream table shapes fixed).
+/// Assignment and update steps are parallelized over rows.
+KMeansResult kmeans(const nn::Tensor& data, std::size_t k, const KMeansOptions& opt = {});
+
+/// Index of the centroid nearest to `row` (L2). `v` is the vector length.
+std::uint32_t nearest_centroid(const float* row, const nn::Tensor& centroids);
+
+}  // namespace dart::pq

@@ -1,0 +1,64 @@
+// Classic product quantization (the paper's §II-B): approximate a^T b by
+// quantizing `a` per subspace and looking up precomputed prototype·b values.
+//
+// This module is the reference implementation the tabularization kernels
+// build upon; it also backs the PQ unit/property tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pq/encoder.hpp"
+#include "pq/kmeans.hpp"
+
+namespace dart::pq {
+
+struct PqConfig {
+  std::size_t num_subspaces = 2;      ///< C
+  std::size_t num_prototypes = 16;    ///< K
+  EncoderKind encoder = EncoderKind::kExact;
+  KMeansOptions kmeans;
+};
+
+/// Per-subspace prototype set + encoders trained on a sample of vectors.
+class ProductQuantizer {
+ public:
+  /// Learns prototypes from `training` ([N, D]); D must divide by C.
+  ProductQuantizer(const nn::Tensor& training, const PqConfig& config);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t num_subspaces() const { return config_.num_subspaces; }
+  std::size_t num_prototypes() const { return config_.num_prototypes; }
+  std::size_t sub_dim() const { return dim_ / config_.num_subspaces; }
+
+  /// Encodes one vector (length D) to C prototype indices.
+  std::vector<std::uint32_t> encode(const float* vec) const;
+
+  /// Encodes every row of [N, D] into [N, C] codes (parallel over rows).
+  std::vector<std::uint32_t> encode_all(const nn::Tensor& rows) const;
+
+  /// Reconstructs the quantized approximation of `vec` (for error analysis).
+  std::vector<float> reconstruct(const float* vec) const;
+
+  /// Prototype matrix of subspace c: [K, V].
+  const nn::Tensor& prototypes(std::size_t c) const { return prototypes_.at(c); }
+
+  /// Builds the h-table (Eq. 6) for a fixed weight vector b (length D):
+  /// table[c*K + k] = b_c · P_ck.
+  std::vector<float> build_table(const float* weight) const;
+
+  /// Query (Eq. 8): sum_c table[c*K + code[c]].
+  static float query(const std::vector<float>& table, const std::vector<std::uint32_t>& code,
+                     std::size_t k);
+
+  const PqConfig& config() const { return config_; }
+
+ private:
+  PqConfig config_;
+  std::size_t dim_;
+  std::vector<nn::Tensor> prototypes_;            ///< C tensors of [K, V]
+  std::vector<std::unique_ptr<Encoder>> encoders_;  ///< one per subspace
+};
+
+}  // namespace dart::pq

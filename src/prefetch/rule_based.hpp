@@ -1,0 +1,131 @@
+// Rule-based baseline prefetchers (Table IX):
+//  * NextLine  — trivial sequential reference.
+//  * Stride    — classic per-PC stride with confidence.
+//  * BestOffset (BO) — Michaud, HPCA'16: offset scoring against a recent
+//    request table.
+//  * Isb       — Jain & Lin, MICRO'13: PC-localized temporal streams via a
+//    structural address space.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/prefetcher.hpp"
+
+namespace dart::prefetch {
+
+class NextLinePrefetcher final : public sim::Prefetcher {
+ public:
+  explicit NextLinePrefetcher(std::size_t degree = 1) : degree_(degree) {}
+
+  void on_access(std::uint64_t block, std::uint64_t pc, bool hit, std::uint64_t cycle,
+                 std::vector<std::uint64_t>& out) override;
+  std::size_t storage_bytes() const override { return 0; }
+  std::string name() const override { return "NextLine"; }
+
+ private:
+  std::size_t degree_;
+};
+
+class StridePrefetcher final : public sim::Prefetcher {
+ public:
+  explicit StridePrefetcher(std::size_t table_entries = 256, std::size_t degree = 2);
+
+  void on_access(std::uint64_t block, std::uint64_t pc, bool hit, std::uint64_t cycle,
+                 std::vector<std::uint64_t>& out) override;
+  std::size_t storage_bytes() const override;
+  std::string name() const override { return "Stride"; }
+
+ private:
+  struct Entry {
+    std::uint64_t pc_tag = 0;
+    std::uint64_t last_block = 0;
+    std::int64_t stride = 0;
+    int confidence = 0;
+    bool valid = false;
+  };
+  std::vector<Entry> table_;
+  std::size_t degree_;
+};
+
+/// Best-Offset prefetcher [6]. Offsets are scored in rounds: each trigger
+/// tests one candidate offset d — if (X - d) sits in the recent-request (RR)
+/// table, X would have been prefetched by offset d in time, so d scores.
+/// The best-scoring offset becomes the active prefetch offset.
+class BestOffsetPrefetcher final : public sim::Prefetcher {
+ public:
+  struct Options {
+    std::size_t rr_entries = 256;
+    int score_max = 31;      ///< early selection threshold
+    int round_max = 100;     ///< rounds before forced selection
+    int bad_score = 1;       ///< below this, prefetching is disabled
+    std::size_t max_offset = 128;
+    std::size_t degree = 1;
+    std::size_t latency = 60;  ///< Table IX: ~60 cycles
+  };
+
+  BestOffsetPrefetcher();
+  explicit BestOffsetPrefetcher(const Options& options);
+
+  void on_access(std::uint64_t block, std::uint64_t pc, bool hit, std::uint64_t cycle,
+                 std::vector<std::uint64_t>& out) override;
+  void on_fill(std::uint64_t block, bool was_prefetch) override;
+  std::size_t prediction_latency() const override { return opts_.latency; }
+  std::size_t storage_bytes() const override;
+  std::string name() const override { return "BO"; }
+
+  std::int64_t current_offset() const { return best_offset_; }
+
+ private:
+  void rr_insert(std::uint64_t block);
+  bool rr_contains(std::uint64_t block) const;
+  void end_learning_phase();
+
+  Options opts_;
+  std::vector<std::int64_t> offsets_;  ///< candidate list (±, factors 2/3/5)
+  std::vector<int> scores_;
+  std::vector<std::uint64_t> rr_;  ///< direct-mapped recent-request table
+  std::size_t test_index_ = 0;     ///< next offset to test
+  int round_ = 0;
+  std::int64_t best_offset_ = 1;
+  bool prefetch_enabled_ = true;
+};
+
+/// Irregular Stream Buffer [7]: maps correlated physical blocks to
+/// consecutive *structural* addresses per trigger PC, then prefetches the
+/// successors of the current block's structural address.
+class IsbPrefetcher final : public sim::Prefetcher {
+ public:
+  struct Options {
+    /// PS/SP mapping capacity. The real ISB keeps these maps in off-chip
+    /// memory and caches them on chip (Table IX charges only the ~8KB
+    /// on-chip structures), so the effective capacity is large.
+    std::size_t max_mappings = 262144;
+    std::size_t degree = 2;
+    std::size_t stream_granularity = 256;  ///< structural stream spacing
+    std::size_t latency = 30;  ///< Table IX: ~30 cycles
+  };
+
+  IsbPrefetcher();
+  explicit IsbPrefetcher(const Options& options);
+
+  void on_access(std::uint64_t block, std::uint64_t pc, bool hit, std::uint64_t cycle,
+                 std::vector<std::uint64_t>& out) override;
+  std::size_t prediction_latency() const override { return opts_.latency; }
+  std::size_t storage_bytes() const override;
+  std::string name() const override { return "ISB"; }
+
+ private:
+  std::uint64_t assign_structural(std::uint64_t block);
+
+  Options opts_;
+  std::unordered_map<std::uint64_t, std::uint64_t> ps_;  ///< physical -> structural
+  std::unordered_map<std::uint64_t, std::uint64_t> sp_;  ///< structural -> physical
+  std::deque<std::uint64_t> fifo_;  ///< insertion order of physical keys
+  std::unordered_map<std::uint64_t, std::uint64_t> training_unit_;  ///< pc -> last block
+  std::uint64_t next_stream_base_ = 0;
+};
+
+}  // namespace dart::prefetch

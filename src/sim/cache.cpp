@@ -1,0 +1,79 @@
+#include "sim/cache.hpp"
+
+#include <stdexcept>
+
+namespace dart::sim {
+
+Cache::Cache(std::size_t size_bytes, std::size_t ways, std::size_t line_bytes)
+    : sets_(size_bytes / (ways * line_bytes)), ways_(ways) {
+  if (sets_ == 0) throw std::invalid_argument("Cache: zero sets");
+  lines_.assign(sets_ * ways_, Line{});
+}
+
+bool Cache::access(std::uint64_t block) {
+  ++stat_accesses_;
+  last_useful_ = false;
+  const std::size_t set = set_of(block);
+  const std::uint64_t tag = tag_of(block);
+  Line* base = lines_.data() + set * ways_;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      ++stat_hits_;
+      line.lru = ++tick_;
+      if (line.prefetched && !line.used) {
+        line.used = true;
+        ++stat_useful_;
+        last_useful_ = true;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::contains(std::uint64_t block) const {
+  const std::size_t set = set_of(block);
+  const std::uint64_t tag = tag_of(block);
+  const Line* base = lines_.data() + set * ways_;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+Cache::EvictInfo Cache::insert(std::uint64_t block, bool prefetched) {
+  EvictInfo info;
+  const std::size_t set = set_of(block);
+  const std::uint64_t tag = tag_of(block);
+  Line* base = lines_.data() + set * ways_;
+  Line* victim = nullptr;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) return info;  // already present
+    if (!line.valid) {
+      if (victim == nullptr || victim->valid) victim = &line;
+    } else if (victim == nullptr || (victim->valid && line.lru < victim->lru)) {
+      victim = &line;
+    }
+  }
+  if (victim->valid) {
+    info.evicted = true;
+    info.victim_block = victim->tag * sets_ + set;
+    info.victim_prefetched = victim->prefetched;
+    info.victim_used = victim->used;
+    if (victim->prefetched && !victim->used) ++stat_unused_evict_;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = ++tick_;
+  victim->prefetched = prefetched;
+  victim->used = false;
+  return info;
+}
+
+void Cache::reset_stats() {
+  stat_accesses_ = stat_hits_ = stat_useful_ = stat_unused_evict_ = 0;
+}
+
+}  // namespace dart::sim

@@ -1,0 +1,73 @@
+// Set-associative cache with true-LRU replacement and per-line prefetch
+// bookkeeping (prefetched / used bits for accuracy accounting).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dart::sim {
+
+class Cache {
+ public:
+  /// `size_bytes` total capacity, `ways` associativity, 64-byte lines.
+  Cache(std::size_t size_bytes, std::size_t ways, std::size_t line_bytes = 64);
+
+  std::size_t num_sets() const { return sets_; }
+  std::size_t ways() const { return ways_; }
+
+  /// Demand access: updates LRU; returns true on hit. A hit on a line whose
+  /// prefetched bit is set marks it used (counted once as a useful
+  /// prefetch).
+  bool access(std::uint64_t block);
+
+  /// Presence check with no state update.
+  bool contains(std::uint64_t block) const;
+
+  struct EvictInfo {
+    bool evicted = false;          ///< a valid line was displaced
+    std::uint64_t victim_block = 0;
+    bool victim_prefetched = false;
+    bool victim_used = false;      ///< victim was a prefetch that got used
+  };
+
+  /// Fills `block` (no-op if already present); `prefetched` tags prefetch
+  /// fills. Returns information about the displaced victim.
+  EvictInfo insert(std::uint64_t block, bool prefetched);
+
+  /// True if the last `access()` hit a prefetched line for the first time.
+  bool last_hit_was_useful_prefetch() const { return last_useful_; }
+
+  // Aggregate statistics.
+  std::uint64_t accesses() const { return stat_accesses_; }
+  std::uint64_t hits() const { return stat_hits_; }
+  std::uint64_t misses() const { return stat_accesses_ - stat_hits_; }
+  std::uint64_t useful_prefetches() const { return stat_useful_; }
+  std::uint64_t unused_prefetch_evictions() const { return stat_unused_evict_; }
+
+  void reset_stats();
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< global timestamp; larger = more recent
+    bool valid = false;
+    bool prefetched = false;
+    bool used = false;
+  };
+
+  std::size_t set_of(std::uint64_t block) const { return block % sets_; }
+  std::uint64_t tag_of(std::uint64_t block) const { return block / sets_; }
+
+  std::size_t sets_;
+  std::size_t ways_;
+  std::vector<Line> lines_;  ///< sets_ * ways_, row-major by set
+  std::uint64_t tick_ = 0;
+  bool last_useful_ = false;
+
+  std::uint64_t stat_accesses_ = 0;
+  std::uint64_t stat_hits_ = 0;
+  std::uint64_t stat_useful_ = 0;
+  std::uint64_t stat_unused_evict_ = 0;
+};
+
+}  // namespace dart::sim

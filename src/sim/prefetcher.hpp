@@ -1,0 +1,43 @@
+// LLC prefetcher interface (Fig. 3's integration point).
+//
+// The simulator calls `on_access` for every LLC demand access; the
+// prefetcher may append candidate block addresses to `out`. Issued
+// predictions become visible to the cache only after
+// `prediction_latency()` cycles — this is how the evaluation separates
+// practical prefetchers from the zero-latency "-I" ideals (Table IX).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dart::sim {
+
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+
+  /// Observes an LLC demand access (post L1/L2 filtering).
+  /// `block` is the 64-byte line index, `hit` the LLC outcome, `cycle` the
+  /// current simulation cycle (used by latency-bound predictors to throttle
+  /// their trigger rate to one outstanding prediction).
+  virtual void on_access(std::uint64_t block, std::uint64_t pc, bool hit, std::uint64_t cycle,
+                         std::vector<std::uint64_t>& out) = 0;
+
+  /// Called when a line fills the LLC (demand or prefetch) — several
+  /// rule-based prefetchers (BO) train on fills.
+  virtual void on_fill(std::uint64_t block, bool was_prefetch) {
+    (void)block;
+    (void)was_prefetch;
+  }
+
+  /// Cycles between a trigger access and the prefetch becoming issueable.
+  virtual std::size_t prediction_latency() const { return 0; }
+
+  /// Metadata/model storage footprint in bytes (Table IX column).
+  virtual std::size_t storage_bytes() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dart::sim

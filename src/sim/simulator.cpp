@@ -1,0 +1,187 @@
+#include "sim/simulator.hpp"
+
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace dart::sim {
+
+namespace {
+
+/// Pending prefetch fill, ordered by fill time.
+struct PendingFill {
+  std::uint64_t fill_time;
+  std::uint64_t block;
+  bool operator>(const PendingFill& o) const { return fill_time > o.fill_time; }
+};
+
+}  // namespace
+
+SimStats Simulator::run(const trace::MemoryTrace& trace, Prefetcher* prefetcher) {
+  SimStats stats;
+  Cache l1(config_.l1_size, config_.l1_ways);
+  Cache l2(config_.l2_size, config_.l2_ways);
+  Cache llc(config_.llc_size, config_.llc_ways);
+
+  // In-order issue / commit bookkeeping: (instr_id, completion time) of
+  // outstanding memory instructions, oldest first.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> window;
+  // Outstanding LLC->DRAM demand misses (completion times, min-heap).
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>, std::greater<>> mshr;
+  // In-flight prefetches: block -> fill time + ordered fill queue.
+  std::unordered_map<std::uint64_t, std::uint64_t> inflight_pf;
+  std::priority_queue<PendingFill, std::vector<PendingFill>, std::greater<>> fill_queue;
+  // Demand fills notify the prefetcher when the line actually arrives, not
+  // at issue time — BO's offset scoring depends on fill timing.
+  std::priority_queue<PendingFill, std::vector<PendingFill>, std::greater<>> demand_fill_queue;
+
+  std::vector<std::uint64_t> pf_candidates;
+  std::uint64_t last_commit = 0;
+  std::uint64_t prev_issue = 0;
+
+  const std::uint64_t demand_miss_latency =
+      config_.l1_latency + config_.l2_latency + config_.llc_latency + config_.dram_latency;
+
+  for (const auto& acc : trace) {
+    const std::uint64_t block = trace::block_of(acc.addr);
+
+    // Earliest cycle this instruction could issue on a 4-wide front end,
+    // respecting program order.
+    std::uint64_t t = acc.instr_id / config_.issue_width;
+    if (t < prev_issue) t = prev_issue;
+
+    // ROB limit: the instruction `rob_entries` older must have committed.
+    while (!window.empty() && window.front().first + config_.rob_entries <= acc.instr_id) {
+      t = std::max(t, window.front().second);
+      window.pop_front();
+    }
+    // LSQ limit: bounded outstanding memory instructions.
+    while (window.size() >= config_.lsq_entries) {
+      t = std::max(t, window.front().second);
+      window.pop_front();
+    }
+
+    // Notify completed demand fills.
+    while (prefetcher != nullptr && !demand_fill_queue.empty() &&
+           demand_fill_queue.top().fill_time <= t) {
+      prefetcher->on_fill(demand_fill_queue.top().block, /*was_prefetch=*/false);
+      demand_fill_queue.pop();
+    }
+    // Apply prefetch fills that have landed by now.
+    while (!fill_queue.empty() && fill_queue.top().fill_time <= t) {
+      const PendingFill f = fill_queue.top();
+      fill_queue.pop();
+      auto it = inflight_pf.find(f.block);
+      if (it != inflight_pf.end() && it->second == f.fill_time) {
+        llc.insert(f.block, /*prefetched=*/true);
+        if (prefetcher != nullptr) prefetcher->on_fill(f.block, /*was_prefetch=*/true);
+        inflight_pf.erase(it);
+      }
+    }
+
+    // --- Cache lookups ------------------------------------------------------
+    std::uint64_t complete;
+    if (l1.access(block)) {
+      complete = t + config_.l1_latency;
+    } else if (l2.access(block)) {
+      complete = t + config_.l1_latency + config_.l2_latency;
+      l1.insert(block, false);
+    } else {
+      // The access reaches the LLC: the prefetcher observes it.
+      ++stats.llc_accesses;
+      const bool llc_hit = llc.access(block);
+      if (llc_hit) {
+        ++stats.llc_hits;
+        if (llc.last_hit_was_useful_prefetch()) ++stats.pf_useful;
+        complete = t + config_.l1_latency + config_.l2_latency + config_.llc_latency;
+      } else {
+        auto pf_it = inflight_pf.find(block);
+        if (pf_it != inflight_pf.end() && pf_it->second <= t + demand_miss_latency) {
+          // Late-but-useful prefetch: the line arrives sooner than a fresh
+          // demand fetch would, so the demand waits for the fill.
+          ++stats.pf_late;
+          complete = std::max(
+              t + config_.l1_latency + config_.l2_latency + config_.llc_latency,
+              pf_it->second);
+          llc.insert(block, false);
+          inflight_pf.erase(pf_it);
+        } else {
+          // Too-late prefetch (fill would land after a demand fetch): the
+          // demand issues its own DRAM access and the prefetch is wasted.
+          if (pf_it != inflight_pf.end()) inflight_pf.erase(pf_it);
+          // Full DRAM miss, gated by LLC MSHR availability.
+          ++stats.llc_demand_misses;
+          std::uint64_t issue = t;
+          while (mshr.size() >= config_.llc_mshrs) {
+            issue = std::max(issue, mshr.top());
+            mshr.pop();
+          }
+          complete = issue + demand_miss_latency;
+          mshr.push(complete);
+          while (!mshr.empty() && mshr.top() <= t) mshr.pop();
+          llc.insert(block, false);
+          if (prefetcher != nullptr) demand_fill_queue.push({complete, block});
+        }
+        l2.insert(block, false);
+        l1.insert(block, false);
+      }
+
+      // --- Prefetcher trigger ----------------------------------------------
+      if (prefetcher != nullptr) {
+        pf_candidates.clear();
+        prefetcher->on_access(block, acc.pc, llc_hit, t, pf_candidates);
+        const std::uint64_t ready = t + prefetcher->prediction_latency();
+        std::size_t accepted = 0;
+        for (std::uint64_t cand : pf_candidates) {
+          if (accepted >= config_.max_degree) {
+            ++stats.pf_dropped;
+            continue;
+          }
+          if (llc.contains(cand) || inflight_pf.count(cand) != 0) {
+            ++stats.pf_dropped;
+            continue;
+          }
+          if (inflight_pf.size() >= config_.prefetch_queue) {
+            ++stats.pf_dropped;
+            continue;
+          }
+          const std::uint64_t fill_time = ready + config_.dram_latency;
+          inflight_pf.emplace(cand, fill_time);
+          fill_queue.push({fill_time, cand});
+          ++stats.pf_issued;
+          ++accepted;
+        }
+      }
+    }
+
+    window.emplace_back(acc.instr_id, complete);
+    last_commit = std::max(last_commit, complete);
+    prev_issue = t;
+  }
+
+  stats.instructions = trace.empty() ? 0 : trace.back().instr_id;
+  const std::uint64_t front_end = stats.instructions / config_.issue_width;
+  stats.cycles = std::max(last_commit, front_end);
+  return stats;
+}
+
+trace::MemoryTrace extract_llc_trace(const trace::MemoryTrace& raw, const SimConfig& config) {
+  Cache l1(config.l1_size, config.l1_ways);
+  Cache l2(config.l2_size, config.l2_ways);
+  trace::MemoryTrace out;
+  for (const auto& acc : raw) {
+    const std::uint64_t block = trace::block_of(acc.addr);
+    if (l1.access(block)) continue;
+    if (l2.access(block)) {
+      l1.insert(block, false);
+      continue;
+    }
+    l2.insert(block, false);
+    l1.insert(block, false);
+    out.push_back(acc);
+  }
+  return out;
+}
+
+}  // namespace dart::sim

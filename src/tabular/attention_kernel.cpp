@@ -1,0 +1,218 @@
+#include "tabular/attention_kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/ops.hpp"
+#include "pq/kmeans.hpp"
+
+namespace dart::tabular {
+
+namespace {
+
+/// Slices subspace `c` (width `sub`) out of [M, D] rows.
+nn::Tensor slice_subspace(const nn::Tensor& rows, std::size_t c, std::size_t sub) {
+  const std::size_t m = rows.dim(0);
+  nn::Tensor out({m, sub});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* src = rows.row(i) + c * sub;
+    std::copy(src, src + sub, out.row(i));
+  }
+  return out;
+}
+
+/// Pairwise prototype dot products over one subspace: table[i*K+j] = A_i·B_j.
+void pairwise_dot(const nn::Tensor& a, const nn::Tensor& b, float* table) {
+  const std::size_t k = a.dim(0), v = a.dim(1);
+  for (std::size_t i = 0; i < k; ++i) {
+    const float* arow = a.row(i);
+    for (std::size_t j = 0; j < k; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (std::size_t d = 0; d < v; ++d) acc += arow[d] * brow[d];
+      table[i * k + j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+AttentionKernel::AttentionKernel(const nn::Tensor& q, const nn::Tensor& k, const nn::Tensor& v,
+                                 const AttentionKernelConfig& config)
+    : config_(config) {
+  if (q.ndim() != 3 || k.ndim() != 3 || v.ndim() != 3) {
+    throw std::invalid_argument("AttentionKernel: inputs must be [N, T, Dk]");
+  }
+  const std::size_t n = q.dim(0);
+  t_len_ = q.dim(1);
+  dk_ = q.dim(2);
+  if (dk_ % config.ck != 0) throw std::invalid_argument("AttentionKernel: Dk % Ck != 0");
+  if (t_len_ % config.ct != 0) throw std::invalid_argument("AttentionKernel: T % Ct != 0");
+  sub_dk_ = dk_ / config.ck;
+  sub_t_ = t_len_ / config.ct;
+  const std::size_t kp = config.num_prototypes;
+
+  // ---- Stage 1: Q/K prototypes and the QK table (Eq. 12) ----------------
+  nn::Tensor q_rows = q.reshaped({n * t_len_, dk_});
+  nn::Tensor k_rows = k.reshaped({n * t_len_, dk_});
+  qk_table_.assign(config.ck * kp * kp, 0.0f);
+  q_encoders_.resize(config.ck);
+  k_encoders_.resize(config.ck);
+  std::vector<nn::Tensor> q_protos(config.ck), k_protos(config.ck);
+  common::parallel_for_each(config.ck, [&](std::size_t c) {
+    pq::KMeansOptions km;
+    km.max_iters = config_.kmeans_iters;
+    km.seed = common::derive_seed(config_.seed, 100 + c);
+    auto rq = pq::kmeans(slice_subspace(q_rows, c, sub_dk_), kp, km);
+    km.seed = common::derive_seed(config_.seed, 200 + c);
+    auto rk = pq::kmeans(slice_subspace(k_rows, c, sub_dk_), kp, km);
+    pairwise_dot(rq.centroids, rk.centroids, qk_table_.data() + c * kp * kp);
+    q_encoders_[c] = pq::make_encoder(config_.encoder, rq.centroids);
+    k_encoders_[c] = pq::make_encoder(config_.encoder, rk.centroids);
+    q_protos[c] = std::move(rq.centroids);
+    k_protos[c] = std::move(rk.centroids);
+  }, 1);
+
+  // ---- Approximate training scores via stage-1 lookups (Eq. 13) ---------
+  // For the softmax-at-query mode the activation is applied here, so the
+  // stage-2 prototypes are learned on the distribution the query will see.
+  nn::Tensor score_rows({n * t_len_, t_len_});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
+  common::parallel_for_each(n, [&](std::size_t s) {
+    std::vector<std::uint32_t> qc(t_len_ * config_.ck), kc(t_len_ * config_.ck);
+    for (std::size_t t = 0; t < t_len_; ++t) {
+      const float* qrow = q.data() + (s * t_len_ + t) * dk_;
+      const float* krow = k.data() + (s * t_len_ + t) * dk_;
+      for (std::size_t c = 0; c < config_.ck; ++c) {
+        qc[t * config_.ck + c] = q_encoders_[c]->encode(qrow + c * sub_dk_);
+        kc[t * config_.ck + c] = k_encoders_[c]->encode(krow + c * sub_dk_);
+      }
+    }
+    for (std::size_t t1 = 0; t1 < t_len_; ++t1) {
+      float* out = score_rows.row(s * t_len_ + t1);
+      for (std::size_t t2 = 0; t2 < t_len_; ++t2) {
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < config_.ck; ++c) {
+          acc += qk_table_[c * kp * kp + qc[t1 * config_.ck + c] * kp + kc[t2 * config_.ck + c]];
+        }
+        out[t2] = acc;
+      }
+      if (config_.activation == AttentionActivation::kSoftmaxAtQuery) {
+        // Scale + row softmax now; prototypes then live in probability space.
+        float mx = out[0] * scale;
+        for (std::size_t t2 = 0; t2 < t_len_; ++t2) mx = std::max(mx, out[t2] * scale);
+        float denom = 0.0f;
+        for (std::size_t t2 = 0; t2 < t_len_; ++t2) {
+          out[t2] = std::exp(out[t2] * scale - mx);
+          denom += out[t2];
+        }
+        for (std::size_t t2 = 0; t2 < t_len_; ++t2) out[t2] /= denom;
+      }
+    }
+  }, 1);
+
+  // ---- V columns: reshape+transpose to [N*Dk, T] (the paper's V~r) ------
+  nn::Tensor v_cols({n * dk_, t_len_});
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < dk_; ++d) {
+      float* dst = v_cols.row(s * dk_ + d);
+      for (std::size_t t = 0; t < t_len_; ++t) dst[t] = v.at(s, t, d);
+    }
+  }
+
+  // ---- Stage 2: score/V prototypes and the QKV table (Eq. 14) -----------
+  qkv_table_.assign(config.ct * kp * kp, 0.0f);
+  s_encoders_.resize(config.ct);
+  v_encoders_.resize(config.ct);
+  common::parallel_for_each(config.ct, [&](std::size_t c) {
+    pq::KMeansOptions km;
+    km.max_iters = config_.kmeans_iters;
+    km.seed = common::derive_seed(config_.seed, 300 + c);
+    auto rs = pq::kmeans(slice_subspace(score_rows, c, sub_t_), kp, km);
+    km.seed = common::derive_seed(config_.seed, 400 + c);
+    auto rv = pq::kmeans(slice_subspace(v_cols, c, sub_t_), kp, km);
+    // Fold scaling + activation into the score prototypes (Eq. 14); in the
+    // softmax mode the scores were already activated above, so the
+    // prototypes are used as-is.
+    nn::Tensor activated = rs.centroids;
+    if (config_.activation == AttentionActivation::kSigmoidFolded) {
+      for (std::size_t i = 0; i < activated.numel(); ++i) {
+        activated[i] = nn::ops::sigmoid(activated[i] * scale);
+      }
+    }
+    pairwise_dot(activated, rv.centroids, qkv_table_.data() + c * kp * kp);
+    s_encoders_[c] = pq::make_encoder(config_.encoder, rs.centroids);
+    v_encoders_[c] = pq::make_encoder(config_.encoder, rv.centroids);
+  }, 1);
+}
+
+nn::Tensor AttentionKernel::approx_scores(const nn::Tensor& q, const nn::Tensor& k) const {
+  const std::size_t kp = config_.num_prototypes;
+  nn::Tensor scores({t_len_, t_len_});
+  std::vector<std::uint32_t> qc(t_len_ * config_.ck), kc(t_len_ * config_.ck);
+  for (std::size_t t = 0; t < t_len_; ++t) {
+    for (std::size_t c = 0; c < config_.ck; ++c) {
+      qc[t * config_.ck + c] = q_encoders_[c]->encode(q.row(t) + c * sub_dk_);
+      kc[t * config_.ck + c] = k_encoders_[c]->encode(k.row(t) + c * sub_dk_);
+    }
+  }
+  for (std::size_t t1 = 0; t1 < t_len_; ++t1) {
+    for (std::size_t t2 = 0; t2 < t_len_; ++t2) {
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < config_.ck; ++c) {
+        acc += qk_table_[c * kp * kp + qc[t1 * config_.ck + c] * kp + kc[t2 * config_.ck + c]];
+      }
+      scores.at(t1, t2) = acc;
+    }
+  }
+  return scores;
+}
+
+nn::Tensor AttentionKernel::query(const nn::Tensor& q, const nn::Tensor& k,
+                                  const nn::Tensor& v) const {
+  if (q.ndim() != 2 || q.dim(0) != t_len_ || q.dim(1) != dk_) {
+    throw std::invalid_argument("AttentionKernel::query: q must be [T, Dk]");
+  }
+  const std::size_t kp = config_.num_prototypes;
+  nn::Tensor scores = approx_scores(q, k);
+  if (config_.activation == AttentionActivation::kSoftmaxAtQuery) {
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
+    scores *= scale;
+    nn::ops::softmax_rows(scores);
+  }
+  // Second-stage encodings: score rows and V columns.
+  std::vector<std::uint32_t> sc(t_len_ * config_.ct), vc(dk_ * config_.ct);
+  for (std::size_t t = 0; t < t_len_; ++t) {
+    for (std::size_t c = 0; c < config_.ct; ++c) {
+      sc[t * config_.ct + c] = s_encoders_[c]->encode(scores.row(t) + c * sub_t_);
+    }
+  }
+  std::vector<float> vcol(t_len_);
+  for (std::size_t d = 0; d < dk_; ++d) {
+    for (std::size_t t = 0; t < t_len_; ++t) vcol[t] = v.at(t, d);
+    for (std::size_t c = 0; c < config_.ct; ++c) {
+      vc[d * config_.ct + c] = v_encoders_[c]->encode(vcol.data() + c * sub_t_);
+    }
+  }
+  // Final lookups + aggregation (Eq. 15).
+  nn::Tensor out({t_len_, dk_});
+  for (std::size_t t = 0; t < t_len_; ++t) {
+    float* orow = out.row(t);
+    for (std::size_t d = 0; d < dk_; ++d) {
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < config_.ct; ++c) {
+        acc += qkv_table_[c * kp * kp + sc[t * config_.ct + c] * kp + vc[d * config_.ct + c]];
+      }
+      orow[d] = acc;
+    }
+  }
+  return out;
+}
+
+std::size_t AttentionKernel::table_bytes() const {
+  return (qk_table_.size() + qkv_table_.size()) * sizeof(float);
+}
+
+}  // namespace dart::tabular

@@ -1,0 +1,90 @@
+// Attention tabularization kernel (the paper's §V-B, Eq. 12-15).
+//
+// Tabularizes one attention head over [T, Dk] inputs without any fixed
+// weight matrix, via two quantization stages:
+//
+//   1. QK stage — prototypes for Q rows and K rows per Dk-subspace; the QK
+//      table stores pairwise prototype dot products (Eq. 12), so the T×T
+//      score matrix is recovered by lookups (Eq. 13). Depth K², width Ck.
+//   2. QKV stage — the approximated score rows (length T) are quantized a
+//      second time; scaling by 1/sqrt(Dk) and the activation are applied to
+//      the score prototypes at *training* time (Eq. 14), then dotted against
+//      prototypes of V columns (V^T rows), giving the QKV table of depth K²,
+//      width Ct. A query is two rounds of encode->lookup->aggregate (Eq. 15).
+//
+// Double quantization keeps total depth at 2K² instead of the naive K³.
+//
+// Activation note: the paper's text says Softmax but its Eq. 14 applies a
+// Sigmoid to the scaled score prototypes — softmax cannot be folded
+// per-subspace because it normalizes over the full row. We implement Eq. 14
+// (sigmoid folding) as the default and also provide a softmax-at-query mode
+// for ablation (row softmax on the looked-up scores costs O(T) scalar ops,
+// no matmul).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "pq/encoder.hpp"
+#include "tabular/linear_kernel.hpp"
+
+namespace dart::tabular {
+
+enum class AttentionActivation {
+  kSigmoidFolded,   ///< Eq. 14: sigmoid folded into the QKV table (default)
+  kSoftmaxAtQuery,  ///< ablation: exact row softmax applied to looked-up scores
+};
+
+struct AttentionKernelConfig {
+  std::size_t num_prototypes = 128;  ///< K (shared by both stages, as in the paper)
+  std::size_t ck = 2;                ///< subspaces over the Dk dimension
+  std::size_t ct = 2;                ///< subspaces over the T dimension
+  AttentionActivation activation = AttentionActivation::kSigmoidFolded;
+  pq::EncoderKind encoder = pq::EncoderKind::kExact;
+  std::size_t kmeans_iters = 10;
+  std::uint64_t seed = 11;
+};
+
+class AttentionKernel {
+ public:
+  /// Trains both stages from per-head activations `q`,`k`,`v` of shape
+  /// [N, T, Dk] collected on the training set.
+  AttentionKernel(const nn::Tensor& q, const nn::Tensor& k, const nn::Tensor& v,
+                  const AttentionKernelConfig& config);
+
+  /// Queries one sample: q/k/v are [T, Dk]; returns [T, Dk].
+  nn::Tensor query(const nn::Tensor& q, const nn::Tensor& k, const nn::Tensor& v) const;
+
+  /// Reconstructs the approximate (unscaled) score matrix QK^T [T, T] via
+  /// the first-stage lookups only (Eq. 13) — exposed for tests/ablation.
+  nn::Tensor approx_scores(const nn::Tensor& q, const nn::Tensor& k) const;
+
+  std::size_t seq_len() const { return t_len_; }
+  std::size_t head_dim() const { return dk_; }
+
+  /// Total table storage in bytes: K^2 * (Ck + Ct) entries (Eq. 19's S_h).
+  std::size_t table_bytes() const;
+
+  const AttentionKernelConfig& config() const { return config_; }
+
+ private:
+  AttentionKernelConfig config_;
+  std::size_t t_len_ = 0;
+  std::size_t dk_ = 0;
+  std::size_t sub_dk_ = 0;  ///< Dk / Ck
+  std::size_t sub_t_ = 0;   ///< T / Ct
+
+  // Stage 1: QK table, layout [c][i][j] = P^c_q,i · P^c_k,j.
+  std::vector<float> qk_table_;  ///< Ck * K * K
+  std::vector<std::unique_ptr<pq::Encoder>> q_encoders_;  ///< per Dk-subspace
+  std::vector<std::unique_ptr<pq::Encoder>> k_encoders_;
+
+  // Stage 2: QKV table, layout [c][i][j] = act(P^c_s,i / sqrt(Dk)) · P^c_v,j.
+  std::vector<float> qkv_table_;  ///< Ct * K * K
+  std::vector<std::unique_ptr<pq::Encoder>> s_encoders_;  ///< score-row subspaces
+  std::vector<std::unique_ptr<pq::Encoder>> v_encoders_;  ///< V-column subspaces
+};
+
+}  // namespace dart::tabular

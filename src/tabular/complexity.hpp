@@ -1,0 +1,92 @@
+// Analytic complexity model: kernel/table latency, storage and arithmetic
+// operations (the paper's §V-C, Eq. 16-21) and whole-model aggregation
+// (Eq. 22-23), plus a systolic-array cost model for the baseline NN models
+// (Table V is "examined under systolic array implementation [50]").
+//
+// All latencies are in cycles under the paper's fully-parallel assumption;
+// storage in bits (helpers convert to bytes); ops are scalar arithmetic
+// operations beyond table lookups.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nn/transformer.hpp"
+
+namespace dart::tabular {
+
+/// ceil(log2 x) with log2(1) = 0.
+std::size_t log2_ceil(std::size_t x);
+
+/// Per-layer table configuration (the paper's Table II): one <K, C> pair per
+/// layer class.
+struct TableLayerConfig {
+  std::size_t k = 128;
+  std::size_t c = 2;
+};
+
+/// Full table configuration for the model of Fig. 6.
+struct TableConfig {
+  TableLayerConfig input;      ///< <KI, CI>
+  TableLayerConfig attention;  ///< <KA, CA>
+  TableLayerConfig ffn;        ///< <KF, CF>
+  TableLayerConfig output;     ///< <KO, CO>
+  std::size_t data_bits = 32;  ///< d — table entry bit width
+
+  /// Convenience: the same <K, C> for every layer class (the paper's Table V
+  /// uses uniform K, C).
+  static TableConfig uniform(std::size_t k, std::size_t c, std::size_t data_bits = 32);
+};
+
+// --- Kernel-level model (Eq. 16-21) ---------------------------------------
+
+/// Eq. 16: L_l = log K + log C + 1.
+std::size_t linear_kernel_latency(std::size_t k, std::size_t c);
+
+/// Eq. 17 (with C = Ck = Ct): L_a = 2 (log K + log C + 1).
+std::size_t attention_kernel_latency(std::size_t k, std::size_t c);
+
+/// Eq. 18 (bits): S_l = T C log K + DO K C d.
+std::size_t linear_kernel_storage_bits(std::size_t t, std::size_t d_out, std::size_t k,
+                                       std::size_t c, std::size_t data_bits);
+
+/// Eq. 19 (bits, C = Ck = Ct): S_a = (3T + Dk) C log K + 2 K^2 C d.
+std::size_t attention_kernel_storage_bits(std::size_t t, std::size_t dk, std::size_t k,
+                                          std::size_t c, std::size_t data_bits);
+
+/// Eq. 20: A_l = T C log K + T DO log C.
+std::size_t linear_kernel_ops(std::size_t t, std::size_t d_out, std::size_t k, std::size_t c);
+
+/// Eq. 21 (C = Ck = Ct): A_a = (3T + Dk) C log K + (T^2 + Dk^2) log C.
+std::size_t attention_kernel_ops(std::size_t t, std::size_t dk, std::size_t k, std::size_t c);
+
+// --- Whole-model model (Eq. 22-23) -----------------------------------------
+
+/// Fixed costs for the non-tabular pieces (layer norm is kept as arithmetic;
+/// the output sigmoid is one LUT lookup).
+struct FixedCosts {
+  std::size_t layernorm_latency = 6;  ///< L_ln
+  std::size_t sigmoid_latency = 1;    ///< L_sigma (one lookup)
+  std::size_t layernorm_storage_bits = 2 * 32 * 8;  ///< gamma/beta, per layer
+  std::size_t sigmoid_storage_bits = 256 * 32;      ///< the LUT
+};
+
+struct ModelCost {
+  std::size_t latency_cycles = 0;
+  std::size_t storage_bits = 0;
+  std::size_t arithmetic_ops = 0;
+
+  double storage_bytes() const { return static_cast<double>(storage_bits) / 8.0; }
+};
+
+/// Eq. 22-23 evaluated for an architecture (Table I notation lives in
+/// nn::ModelConfig) and a table configuration.
+ModelCost tabular_model_cost(const nn::ModelConfig& arch, const TableConfig& tables,
+                             const FixedCosts& fixed = {});
+
+/// Systolic-array cost of the *neural* model (Table V's Teacher/Student
+/// rows): each matmul [m,k]x[k,n] is pipelined in m + k + n - 2 cycles on an
+/// unbounded array; storage is 32-bit parameters; ops are 2*MAC counts.
+ModelCost nn_model_cost(const nn::ModelConfig& arch);
+
+}  // namespace dart::tabular

@@ -1,0 +1,81 @@
+#include "tabular/configurator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dart::tabular {
+
+std::string PredictorConfig::to_string() const {
+  std::ostringstream os;
+  os << "(L=" << arch.layers << ", D=" << arch.dim << ", H=" << arch.heads
+     << ", K=" << tables.attention.k << ", C=" << tables.attention.c << ")";
+  return os.str();
+}
+
+bool config_is_valid(const nn::ModelConfig& arch, const TableConfig& tables) {
+  const std::size_t dh = arch.heads > 0 ? arch.dim / arch.heads : arch.dim;
+  if (arch.heads == 0 || arch.dim % arch.heads != 0) return false;
+  // Input kernel partitions the segment dimension.
+  if (arch.addr_dim % tables.input.c != 0) return false;
+  if (arch.pc_dim % tables.input.c != 0) return false;
+  // Attention-block linear kernels partition DA; the attention kernel
+  // partitions per-head Dk and the sequence length T.
+  if (arch.dim % tables.attention.c != 0) return false;
+  if (dh % tables.attention.c != 0) return false;
+  if (arch.seq_len % tables.attention.c != 0) return false;
+  // FFN kernels partition DA and DF.
+  if (arch.dim % tables.ffn.c != 0) return false;
+  if (arch.ffn_dim % tables.ffn.c != 0) return false;
+  // Output kernel partitions DA.
+  if (arch.dim % tables.output.c != 0) return false;
+  return true;
+}
+
+TableConfigurator::TableConfigurator(const ConfiguratorOptions& options) {
+  for (std::size_t layers : options.layer_counts) {
+    for (std::size_t dim : options.dims) {
+      for (std::size_t heads : options.head_counts) {
+        if (dim % heads != 0) continue;
+        nn::ModelConfig arch = options.base;
+        arch.layers = layers;
+        arch.dim = dim;
+        arch.heads = heads;
+        arch.ffn_dim = options.ffn_multiplier * dim;
+        for (std::size_t k : options.prototype_counts) {
+          for (std::size_t c : options.subspace_counts) {
+            TableConfig tables = TableConfig::uniform(k, c);
+            if (!config_is_valid(arch, tables)) continue;
+            PredictorConfig pc;
+            pc.arch = arch;
+            pc.tables = tables;
+            pc.cost = tabular_model_cost(arch, tables, options.fixed);
+            candidates_.push_back(pc);
+          }
+        }
+      }
+    }
+  }
+  // Sort by latency descending, storage descending — the greedy scan below
+  // then walks candidates in exactly the paper's search order.
+  std::sort(candidates_.begin(), candidates_.end(), [](const auto& a, const auto& b) {
+    if (a.cost.latency_cycles != b.cost.latency_cycles) {
+      return a.cost.latency_cycles > b.cost.latency_cycles;
+    }
+    return a.cost.storage_bits > b.cost.storage_bits;
+  });
+}
+
+std::optional<PredictorConfig> TableConfigurator::configure(std::size_t tau_cycles,
+                                                            double s_bytes) const {
+  // Candidates are sorted latency-major descending: the first candidate with
+  // latency < tau whose storage also fits is the greedy answer (within one
+  // latency tier storage is descending, so the first storage fit is the max).
+  for (const auto& cand : candidates_) {
+    if (cand.cost.latency_cycles >= tau_cycles) continue;
+    if (cand.cost.storage_bytes() >= s_bytes) continue;
+    return cand;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dart::tabular

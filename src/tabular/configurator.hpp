@@ -1,0 +1,60 @@
+// Table configurator (the paper's §VI-C2): enumerates a pre-defined design
+// space of model configurations (DA, DF, DO, H, L) and table configurations
+// (K, C), computes each candidate's tabular latency/storage via Eq. 22-23,
+// and answers "given latency constraint τ and storage constraint s, which
+// configuration should the student model and tables use?" with a
+// latency-major greedy search.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tabular/complexity.hpp"
+
+namespace dart::tabular {
+
+/// One valid (architecture, tables) pair with its analytic cost.
+struct PredictorConfig {
+  nn::ModelConfig arch;
+  TableConfig tables;
+  ModelCost cost;
+
+  std::string to_string() const;
+};
+
+struct ConfiguratorOptions {
+  /// Base architecture fields that are fixed by the data pipeline (sequence
+  /// length, segment counts, bitmap size) — candidates vary the rest.
+  nn::ModelConfig base;
+  std::vector<std::size_t> dims = {16, 32, 64};
+  std::vector<std::size_t> layer_counts = {1, 2};
+  std::vector<std::size_t> head_counts = {2};
+  std::vector<std::size_t> prototype_counts = {16, 32, 64, 128, 256, 512, 1024};
+  std::vector<std::size_t> subspace_counts = {1, 2, 4};
+  std::size_t ffn_multiplier = 4;  ///< DF = multiplier * DA
+  FixedCosts fixed;
+};
+
+class TableConfigurator {
+ public:
+  explicit TableConfigurator(const ConfiguratorOptions& options);
+
+  /// All enumerated valid candidates (the "configuration dictionary").
+  const std::vector<PredictorConfig>& candidates() const { return candidates_; }
+
+  /// Latency-major greedy search (§VI-C2): among candidates with latency
+  /// < tau_cycles, picks the one with the highest latency; under that
+  /// latency, the largest storage < s_bytes; if none, steps down to the
+  /// next-lower latency, and so on. Returns nullopt when no candidate fits.
+  std::optional<PredictorConfig> configure(std::size_t tau_cycles, double s_bytes) const;
+
+ private:
+  std::vector<PredictorConfig> candidates_;
+};
+
+/// True when (arch, tables) is dimension-consistent for the tabular kernels:
+/// every subspace count divides the dimension it partitions.
+bool config_is_valid(const nn::ModelConfig& arch, const TableConfig& tables);
+
+}  // namespace dart::tabular

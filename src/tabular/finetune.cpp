@@ -1,0 +1,137 @@
+#include "tabular/finetune.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/ops.hpp"
+#include "nn/optimizer.hpp"
+
+namespace dart::tabular {
+
+namespace {
+
+/// Cholesky factorization of an SPD matrix in place (lower triangle).
+void cholesky(std::vector<double>& a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= a[i * n + k] * a[j * n + k];
+      if (i == j) {
+        if (sum <= 0.0) throw std::runtime_error("ridge_solve: matrix not SPD");
+        a[i * n + j] = std::sqrt(sum);
+      } else {
+        a[i * n + j] = sum / a[j * n + j];
+      }
+    }
+  }
+}
+
+/// Solves L L^T x = rhs for one column in place.
+void cholesky_solve(const std::vector<double>& l, std::size_t n, std::vector<double>& x) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = x[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l[i * n + k] * x[k];
+    x[i] = sum / l[i * n + i];
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = x[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l[k * n + i] * x[k];
+    x[i] = sum / l[i * n + i];
+  }
+}
+
+}  // namespace
+
+nn::Tensor ridge_solve(const nn::Tensor& a, const nn::Tensor& b, float lambda) {
+  if (a.ndim() != 2 || b.ndim() != 2 || a.dim(0) != b.dim(0)) {
+    throw std::invalid_argument("ridge_solve: A [M,P], B [M,Q] required");
+  }
+  const std::size_t m = a.dim(0), p = a.dim(1), q = b.dim(1);
+  // Normal equations in double precision: G = A^T A + lambda I, R = A^T B.
+  std::vector<double> g(p * p, 0.0);
+  std::vector<double> r(p * q, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    const float* brow = b.row(i);
+    for (std::size_t x = 0; x < p; ++x) {
+      const double ax = arow[x];
+      for (std::size_t y = x; y < p; ++y) g[x * p + y] += ax * arow[y];
+      for (std::size_t y = 0; y < q; ++y) r[x * q + y] += ax * brow[y];
+    }
+  }
+  for (std::size_t x = 0; x < p; ++x) {
+    for (std::size_t y = 0; y < x; ++y) g[x * p + y] = g[y * p + x];
+    g[x * p + x] += lambda;
+  }
+  cholesky(g, p);
+  nn::Tensor w({p, q});
+  std::vector<double> col(p);
+  for (std::size_t y = 0; y < q; ++y) {
+    for (std::size_t x = 0; x < p; ++x) col[x] = r[x * q + y];
+    cholesky_solve(g, p, col);
+    for (std::size_t x = 0; x < p; ++x) w.at(x, y) = static_cast<float>(col[x]);
+  }
+  return w;
+}
+
+double fine_tune_linear(nn::Linear& layer, const nn::Tensor& x_hat, const nn::Tensor& y_ref,
+                        const FineTuneOptions& options) {
+  const std::size_t m = x_hat.dim(0);
+  const std::size_t din = layer.in_dim(), dout = layer.out_dim();
+  if (x_hat.dim(1) != din || y_ref.dim(1) != dout || y_ref.dim(0) != m) {
+    throw std::invalid_argument("fine_tune_linear: shape mismatch");
+  }
+
+  if (options.method == FineTuneMethod::kClosedForm) {
+    // Augment X with a ones column so the bias is solved jointly, and
+    // center the target on the current layer's output: solving for the
+    // *update* dW with ridge ||dW||^2 shrinks toward the trained weights
+    // rather than toward zero.
+    nn::Tensor aug({m, din + 1});
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* src = x_hat.row(i);
+      float* dst = aug.row(i);
+      std::copy(src, src + din, dst);
+      dst[din] = 1.0f;
+    }
+    nn::Tensor residual = y_ref;
+    residual -= layer.apply(x_hat);
+    // Scale lambda by the Gram diagonal so it is dimensionless.
+    double diag = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* row = aug.row(i);
+      for (std::size_t j = 0; j <= din; ++j) diag += static_cast<double>(row[j]) * row[j];
+    }
+    const float lambda =
+        options.ridge_lambda * static_cast<float>(diag / static_cast<double>(din + 1));
+    nn::Tensor dw = ridge_solve(aug, residual, std::max(lambda, 1e-6f));  // [din+1, dout]
+    for (std::size_t o = 0; o < dout; ++o) {
+      for (std::size_t j = 0; j < din; ++j) layer.mutable_weight().at(o, j) += dw.at(j, o);
+      layer.mutable_bias()[o] += dw.at(din, o);
+    }
+  } else {
+    nn::Adam adam(layer.params(), options.lr);
+    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+      for (std::size_t begin = 0; begin < m; begin += options.batch_size) {
+        const std::size_t end = std::min(m, begin + options.batch_size);
+        nn::Tensor xb({end - begin, din}), yb({end - begin, dout});
+        std::copy(x_hat.row(begin), x_hat.row(begin) + (end - begin) * din, xb.data());
+        std::copy(y_ref.row(begin), y_ref.row(begin) + (end - begin) * dout, yb.data());
+        adam.zero_grad();
+        nn::Tensor pred = layer.forward(xb);
+        nn::Tensor d_pred;
+        nn::mse_loss(pred, yb, d_pred);
+        layer.backward(d_pred);
+        adam.step();
+      }
+    }
+  }
+  // Report the residual MSE on the fine-tuning set.
+  nn::Tensor pred = layer.apply(x_hat);
+  nn::Tensor d_unused;
+  return nn::mse_loss(pred, y_ref, d_unused);
+}
+
+}  // namespace dart::tabular

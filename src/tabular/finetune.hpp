@@ -1,0 +1,45 @@
+// Layer fine-tuning (the paper's §VI-E2, Eq. 26): before tabularizing linear
+// layer i, retrain its weights so that W' X̂ + b' matches the *original* NN
+// layer output Y on the tabular-approximated inputs X̂, counteracting error
+// accumulation across tabularized layers.
+//
+// Two solvers:
+//  * kClosedForm — ridge-regularized least squares via normal equations +
+//    Cholesky; the exact minimizer of Eq. 26 (fast, deterministic).
+//  * kSgd        — E epochs of mini-batch Adam on the MSE loss
+//    (paper-faithful iterative variant).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/linear.hpp"
+
+namespace dart::tabular {
+
+enum class FineTuneMethod { kClosedForm, kSgd };
+
+struct FineTuneOptions {
+  FineTuneMethod method = FineTuneMethod::kClosedForm;
+  /// Closed form: Tikhonov regularizer pulling the solution toward the
+  /// *original trained weights* (not toward zero), scaled relative to the
+  /// Gram matrix's mean diagonal. Large values recover the un-fine-tuned
+  /// layer; small values give the pure least-squares fit of Eq. 26. The
+  /// default guards against overfitting the approximated activations when
+  /// the workload's train/test phases differ.
+  float ridge_lambda = 0.05f;
+  std::size_t epochs = 4;      ///< SGD: E of Algorithm 1
+  std::size_t batch_size = 256;
+  float lr = 1e-3f;
+  std::uint64_t seed = 23;
+};
+
+/// Fine-tunes `layer` in place on pairs (x_hat [M, DI] -> y_ref [M, DO]).
+/// Returns the final MSE.
+double fine_tune_linear(nn::Linear& layer, const nn::Tensor& x_hat, const nn::Tensor& y_ref,
+                        const FineTuneOptions& options);
+
+/// Solves min_W ||A W - B||^2 + lambda ||W||^2 for A [M, P], B [M, Q] via
+/// normal equations; returns W [P, Q]. Exposed for tests.
+nn::Tensor ridge_solve(const nn::Tensor& a, const nn::Tensor& b, float lambda);
+
+}  // namespace dart::tabular

@@ -1,0 +1,51 @@
+#include "tabular/fused_kernel.hpp"
+
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+#include "pq/kmeans.hpp"
+#include "tabular/complexity.hpp"
+
+namespace dart::tabular {
+
+FusedKernel::FusedKernel(std::size_t in_dim, std::size_t out_dim,
+                         const std::function<nn::Tensor(const nn::Tensor&)>& stack,
+                         const nn::Tensor& training_rows, const FusedKernelConfig& config)
+    : in_dim_(in_dim), out_dim_(out_dim), config_(config) {
+  if (training_rows.ndim() != 2 || training_rows.dim(1) != in_dim) {
+    throw std::invalid_argument("FusedKernel: training rows must be [M, DI]");
+  }
+  pq::KMeansOptions km;
+  km.max_iters = config.kmeans_iters;
+  km.seed = config.seed;
+  pq::KMeansResult res = pq::kmeans(training_rows, config.num_prototypes, km);
+  // Evaluate the full layer stack at every prototype: this row IS the table.
+  table_ = stack(res.centroids);
+  if (table_.ndim() != 2 || table_.dim(0) != config.num_prototypes ||
+      table_.dim(1) != out_dim) {
+    throw std::invalid_argument("FusedKernel: stack output shape mismatch");
+  }
+  encoder_ = pq::make_encoder(config.encoder, res.centroids);
+}
+
+nn::Tensor FusedKernel::query(const nn::Tensor& rows) const {
+  if (rows.ndim() != 2 || rows.dim(1) != in_dim_) {
+    throw std::invalid_argument("FusedKernel::query: rows must be [T, DI]");
+  }
+  const std::size_t t_len = rows.dim(0);
+  nn::Tensor out({t_len, out_dim_});
+  common::parallel_for(t_len, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t t = r0; t < r1; ++t) {
+      const std::uint32_t code = encoder_->encode(rows.row(t));
+      const float* src = table_.row(code);
+      std::copy(src, src + out_dim_, out.row(t));
+    }
+  }, 32);
+  return out;
+}
+
+std::size_t FusedKernel::latency_cycles() const {
+  return log2_ceil(config_.num_prototypes) + 1;
+}
+
+}  // namespace dart::tabular

@@ -1,0 +1,66 @@
+// Fused multi-layer table (the paper's stated future work, §VIII: "explore
+// converting multiple layers into a single table to further reduce latency,
+// storage, and operations").
+//
+// Unlike the per-layer kernels, a fused table cannot decompose additively
+// across subspaces when the fused function is nonlinear (e.g. FFN =
+// Linear∘ReLU∘Linear), so it uses a single full-width codebook (C = 1):
+// K prototypes are learned on the layer-stack's *input* distribution, and
+// the table stores the exact stack output evaluated at each prototype:
+//
+//   table[k] = f(P_k),  query(x) = table[g(x)]
+//
+// Query cost: one encode (log K with the hash tree) + one DO-wide row copy —
+// zero aggregation arithmetic, strictly cheaper than two chained linear
+// kernels (2·(log K + log C + 1) vs log K + 1 cycles). The trade-off is
+// pure vector quantization error (no per-subspace factorization), which the
+// ablation bench quantifies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "nn/tensor.hpp"
+#include "pq/encoder.hpp"
+
+namespace dart::tabular {
+
+struct FusedKernelConfig {
+  std::size_t num_prototypes = 256;  ///< K (single codebook)
+  pq::EncoderKind encoder = pq::EncoderKind::kExact;
+  std::size_t kmeans_iters = 12;
+  std::uint64_t seed = 47;
+};
+
+class FusedKernel {
+ public:
+  /// `stack` maps a [M, DI] batch to [M, DO] — any composition of layers
+  /// (typically FFN hidden∘relu∘out, optionally including the residual and
+  /// LayerNorm). Prototypes are learned on `training_rows` [M, DI].
+  FusedKernel(std::size_t in_dim, std::size_t out_dim,
+              const std::function<nn::Tensor(const nn::Tensor&)>& stack,
+              const nn::Tensor& training_rows, const FusedKernelConfig& config);
+
+  /// Query: encode each row, copy the precomputed stack output.
+  nn::Tensor query(const nn::Tensor& rows) const;
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+
+  /// Table storage in bytes: K * DO entries.
+  std::size_t table_bytes() const { return table_.numel() * sizeof(float); }
+
+  /// Query latency in the Eq. 16 cycle model: encode (log K) + 1 lookup —
+  /// no aggregation tree.
+  std::size_t latency_cycles() const;
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  FusedKernelConfig config_;
+  nn::Tensor table_;  ///< [K, DO] — stack evaluated at each prototype
+  std::unique_ptr<pq::Encoder> encoder_;
+};
+
+}  // namespace dart::tabular

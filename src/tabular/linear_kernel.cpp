@@ -1,0 +1,95 @@
+#include "tabular/linear_kernel.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "pq/kmeans.hpp"
+
+namespace dart::tabular {
+
+LinearKernel::LinearKernel(const nn::Tensor& weight, const nn::Tensor& bias,
+                           const nn::Tensor& training_rows, const KernelConfig& config)
+    : config_(config), in_dim_(weight.dim(1)), out_dim_(weight.dim(0)) {
+  if (training_rows.ndim() != 2 || training_rows.dim(1) != in_dim_) {
+    throw std::invalid_argument("LinearKernel: training rows must be [M, DI]");
+  }
+  if (in_dim_ % config.num_subspaces != 0) {
+    throw std::invalid_argument("LinearKernel: DI must be divisible by C");
+  }
+  sub_dim_ = in_dim_ / config.num_subspaces;
+  const std::size_t k = config.num_prototypes;
+  const std::size_t c_count = config.num_subspaces;
+  const std::size_t m = training_rows.dim(0);
+
+  table_.assign(out_dim_ * c_count * k, 0.0f);
+  encoders_.resize(c_count);
+
+  // Per-subspace prototype learning + table construction (Eq. 10).
+  // Subspaces are independent — parallelize across them.
+  common::parallel_for_each(c_count, [&](std::size_t c) {
+    nn::Tensor sub({m, sub_dim_});
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* src = training_rows.row(i) + c * sub_dim_;
+      std::copy(src, src + sub_dim_, sub.row(i));
+    }
+    pq::KMeansOptions km;
+    km.max_iters = config_.kmeans_iters;
+    km.seed = common::derive_seed(config_.seed, c);
+    pq::KMeansResult res = pq::kmeans(sub, k, km);
+    // h^c_o(W)_k = W_o,c · P_ck  (+ bias folded into subspace 0).
+    for (std::size_t o = 0; o < out_dim_; ++o) {
+      const float* wrow = weight.row(o) + c * sub_dim_;
+      float* trow = table_.data() + (o * c_count + c) * k;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* proto = res.centroids.row(kk);
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < sub_dim_; ++j) acc += wrow[j] * proto[j];
+        if (c == 0) acc += bias[o];
+        trow[kk] = acc;
+      }
+    }
+    encoders_[c] = pq::make_encoder(config_.encoder, res.centroids);
+  }, 1);
+}
+
+nn::Tensor LinearKernel::query(const nn::Tensor& rows) const {
+  if (rows.ndim() != 2 || rows.dim(1) != in_dim_) {
+    throw std::invalid_argument("LinearKernel::query: rows must be [T, DI]");
+  }
+  const std::size_t t_len = rows.dim(0);
+  const std::size_t k = config_.num_prototypes;
+  const std::size_t c_count = config_.num_subspaces;
+  nn::Tensor out({t_len, out_dim_});
+  // Encoding, lookups and aggregation per row are independent
+  // ("embarrassingly parallel" per §V-A2).
+  common::parallel_for(t_len, [&](std::size_t r0, std::size_t r1) {
+    std::vector<std::uint32_t> code(c_count);
+    for (std::size_t t = r0; t < r1; ++t) {
+      const float* row = rows.row(t);
+      for (std::size_t c = 0; c < c_count; ++c) {
+        code[c] = encoders_[c]->encode(row + c * sub_dim_);
+      }
+      float* orow = out.row(t);
+      for (std::size_t o = 0; o < out_dim_; ++o) {
+        const float* trow = table_.data() + o * c_count * k;
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < c_count; ++c) acc += trow[c * k + code[c]];
+        orow[o] = acc;
+      }
+    }
+  }, 16);
+  return out;
+}
+
+nn::Tensor LinearKernel::query3d(const nn::Tensor& x) const {
+  if (x.ndim() != 3) throw std::invalid_argument("LinearKernel::query3d expects [B,T,DI]");
+  nn::Tensor flat = x.reshaped({x.dim(0) * x.dim(1), x.dim(2)});
+  nn::Tensor out = query(flat);
+  out.reshape({x.dim(0), x.dim(1), out_dim_});
+  return out;
+}
+
+std::size_t LinearKernel::table_bytes() const { return table_.size() * sizeof(float); }
+
+}  // namespace dart::tabular

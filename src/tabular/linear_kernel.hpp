@@ -1,0 +1,62 @@
+// Linear tabularization kernel (the paper's §V-A, Eq. 10-11).
+//
+// Converts y = W x + b into table lookups: prototypes are learned (k-means)
+// on the layer's *actual input distribution* (rows of the training
+// activations), then for every output channel o and subspace c the dot
+// products W_o,c · P_ck are precomputed. The bias is folded into subspace 0
+// so query-time aggregation adds it for free.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "pq/encoder.hpp"
+
+namespace dart::tabular {
+
+struct KernelConfig {
+  std::size_t num_prototypes = 128;  ///< K
+  std::size_t num_subspaces = 2;     ///< C
+  pq::EncoderKind encoder = pq::EncoderKind::kExact;
+  std::size_t kmeans_iters = 10;
+  std::uint64_t seed = 7;
+};
+
+class LinearKernel {
+ public:
+  /// `weight` [DO, DI], `bias` [DO], `training_rows` [M, DI] — the observed
+  /// inputs of this layer (batch and sequence flattened), per Fig. 4a.
+  LinearKernel(const nn::Tensor& weight, const nn::Tensor& bias,
+               const nn::Tensor& training_rows, const KernelConfig& config);
+
+  /// Applies the kernel to [T, DI] (or [M, DI]) rows -> [T, DO].
+  /// Pure lookups + aggregation; no multiplications with weights.
+  nn::Tensor query(const nn::Tensor& rows) const;
+
+  /// Applies to a 3-D activation [B, T, DI] -> [B, T, DO].
+  nn::Tensor query3d(const nn::Tensor& x) const;
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+  std::size_t num_prototypes() const { return config_.num_prototypes; }
+  std::size_t num_subspaces() const { return config_.num_subspaces; }
+
+  /// Table storage in bytes (DO*K*C entries, 4 bytes each) — the S_h term
+  /// of Eq. 18.
+  std::size_t table_bytes() const;
+
+  const KernelConfig& config() const { return config_; }
+
+ private:
+  KernelConfig config_;
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  std::size_t sub_dim_;
+  // table_[((o * C) + c) * K + k] = W_o,c · P_ck (+ b_o when c == 0).
+  std::vector<float> table_;
+  std::vector<std::unique_ptr<pq::Encoder>> encoders_;  ///< one per subspace
+};
+
+}  // namespace dart::tabular

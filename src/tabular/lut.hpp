@@ -1,0 +1,37 @@
+// Fixed lookup-table approximation of the output Sigmoid (Algorithm 1,
+// line 16; Meher [46]): uniform 256-entry table over [-8, 8], clamped
+// outside. One comparison + one lookup per scalar — no transcendentals at
+// query time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "nn/tensor.hpp"
+
+namespace dart::tabular {
+
+class SigmoidLut {
+ public:
+  static constexpr std::size_t kEntries = 256;
+  static constexpr float kRange = 8.0f;  ///< covers [-8, 8]
+
+  SigmoidLut();
+
+  /// LUT-approximated sigmoid of a scalar.
+  float operator()(float x) const;
+
+  /// Applies elementwise to a tensor (out-of-place).
+  nn::Tensor apply(const nn::Tensor& x) const;
+
+  /// Worst-case absolute error vs the exact sigmoid over the covered range
+  /// (useful for tests; ~ kRange / kEntries * max|σ'| = 1/128 * 1/4).
+  static constexpr float max_abs_error() { return (2.0f * kRange / kEntries) * 0.25f; }
+
+  std::size_t table_bytes() const { return kEntries * sizeof(float); }
+
+ private:
+  std::array<float, kEntries> table_{};
+};
+
+}  // namespace dart::tabular

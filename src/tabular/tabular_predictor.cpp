@@ -1,0 +1,140 @@
+#include "tabular/tabular_predictor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace dart::tabular {
+
+nn::Tensor LnParams::apply(const nn::Tensor& x) const {
+  const std::size_t d = gamma.numel();
+  const std::size_t m = x.numel() / d;
+  nn::Tensor y(x.shape());
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = x.data() + i * d;
+    float* yrow = y.data() + i * d;
+    float mean = 0.0f;
+    for (std::size_t j = 0; j < d; ++j) mean += row[j];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (std::size_t j = 0; j < d; ++j) {
+      const float diff = row[j] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<float>(d);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    for (std::size_t j = 0; j < d; ++j) {
+      yrow[j] = (row[j] - mean) * inv * gamma[j] + beta[j];
+    }
+  }
+  return y;
+}
+
+nn::Tensor TabularPredictor::forward_sample(const nn::Tensor& addr, const nn::Tensor& pc,
+                                            std::vector<nn::Tensor>* stages) const {
+  const std::size_t t_len = arch_.seq_len;
+  const std::size_t d = arch_.dim;
+  const std::size_t dh = d / arch_.heads;
+
+  // Embedding: two linear kernels + positional encoding.
+  nn::Tensor x = addr_kernel->query(addr);
+  nn::Tensor xp = pc_kernel->query(pc);
+  x += xp;
+  x += pos_encoding;
+  if (stages != nullptr) stages->push_back(x);
+
+  for (const auto& layer : layers) {
+    nn::Tensor qkv = layer.qkv->query(x);  // [T, 3D]
+    if (stages != nullptr) stages->push_back(qkv);
+    // Per-head attention kernel queries.
+    nn::Tensor concat({t_len, d});
+    for (std::size_t h = 0; h < layer.heads.size(); ++h) {
+      nn::Tensor q({t_len, dh}), k({t_len, dh}), v({t_len, dh});
+      for (std::size_t t = 0; t < t_len; ++t) {
+        const float* row = qkv.row(t);
+        for (std::size_t j = 0; j < dh; ++j) {
+          q.at(t, j) = row[h * dh + j];
+          k.at(t, j) = row[d + h * dh + j];
+          v.at(t, j) = row[2 * d + h * dh + j];
+        }
+      }
+      nn::Tensor o = layer.heads[h]->query(q, k, v);
+      for (std::size_t t = 0; t < t_len; ++t) {
+        float* dst = concat.row(t) + h * dh;
+        const float* src = o.row(t);
+        for (std::size_t j = 0; j < dh; ++j) dst[j] = src[j];
+      }
+    }
+    if (stages != nullptr) stages->push_back(concat);
+    nn::Tensor attn_out = layer.out_proj->query(concat);
+    attn_out += x;  // residual
+    x = layer.ln1.apply(attn_out);
+    if (stages != nullptr) stages->push_back(x);
+    // FFN: hidden kernel -> exact ReLU -> output kernel.
+    nn::Tensor hidden = layer.ffn_hidden->query(x);
+    for (std::size_t i = 0; i < hidden.numel(); ++i) {
+      hidden[i] = hidden[i] > 0.0f ? hidden[i] : 0.0f;
+    }
+    nn::Tensor ffn = layer.ffn_out->query(hidden);
+    ffn += x;  // residual
+    x = layer.ln2.apply(ffn);
+    if (stages != nullptr) stages->push_back(x);
+  }
+
+  x = final_ln.apply(x);
+  nn::Tensor per_token = head_kernel->query(x);  // [T, DO]
+  // Mean pool + sigmoid LUT.
+  const std::size_t out_d = arch_.out_dim;
+  nn::Tensor probs({out_d});
+  const float inv_t = 1.0f / static_cast<float>(t_len);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const float* row = per_token.row(t);
+    for (std::size_t j = 0; j < out_d; ++j) probs[j] += row[j] * inv_t;
+  }
+  if (stages != nullptr) stages->push_back(probs);
+  for (std::size_t j = 0; j < out_d; ++j) probs[j] = sigmoid_lut(probs[j]);
+  return probs;
+}
+
+nn::Tensor TabularPredictor::forward(const nn::Tensor& addr, const nn::Tensor& pc) const {
+  if (addr.ndim() != 3) throw std::invalid_argument("TabularPredictor: addr must be [B,T,S]");
+  const std::size_t b_sz = addr.dim(0);
+  const std::size_t t_len = addr.dim(1);
+  const std::size_t sa = addr.dim(2);
+  const std::size_t sp = pc.dim(2);
+  nn::Tensor out({b_sz, arch_.out_dim});
+  common::parallel_for_each(b_sz, [&](std::size_t b) {
+    nn::Tensor a({t_len, sa}), p({t_len, sp});
+    std::copy(addr.data() + b * t_len * sa, addr.data() + (b + 1) * t_len * sa, a.data());
+    std::copy(pc.data() + b * t_len * sp, pc.data() + (b + 1) * t_len * sp, p.data());
+    nn::Tensor probs = forward_sample(a, p);
+    std::copy(probs.data(), probs.data() + arch_.out_dim, out.row(b));
+  }, 1);
+  return out;
+}
+
+std::size_t TabularPredictor::storage_bytes() const {
+  std::size_t total = sigmoid_lut.table_bytes();
+  auto add_kernel = [&total](const std::unique_ptr<LinearKernel>& k) {
+    if (k) total += k->table_bytes();
+  };
+  add_kernel(addr_kernel);
+  add_kernel(pc_kernel);
+  total += pos_encoding.numel() * sizeof(float);
+  for (const auto& layer : layers) {
+    add_kernel(layer.qkv);
+    for (const auto& h : layer.heads) total += h->table_bytes();
+    add_kernel(layer.out_proj);
+    add_kernel(layer.ffn_hidden);
+    add_kernel(layer.ffn_out);
+    total += (layer.ln1.gamma.numel() + layer.ln1.beta.numel() + layer.ln2.gamma.numel() +
+              layer.ln2.beta.numel()) *
+             sizeof(float);
+  }
+  total += (final_ln.gamma.numel() + final_ln.beta.numel()) * sizeof(float);
+  add_kernel(head_kernel);
+  return total;
+}
+
+}  // namespace dart::tabular

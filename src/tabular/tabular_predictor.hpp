@@ -1,0 +1,72 @@
+// The table-hierarchy predictor (the DART predictor of Fig. 3): a structural
+// mirror of nn::AddressPredictor in which every matrix multiplication has
+// been replaced by a tabularization kernel. LayerNorms stay arithmetic
+// (Algorithm 1, line 18) and the output sigmoid is a fixed LUT (line 16).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "nn/transformer.hpp"
+#include "tabular/attention_kernel.hpp"
+#include "tabular/linear_kernel.hpp"
+#include "tabular/lut.hpp"
+
+namespace dart::tabular {
+
+/// Frozen LayerNorm parameters carried over from the NN verbatim.
+struct LnParams {
+  nn::Tensor gamma;
+  nn::Tensor beta;
+  float eps = 1e-5f;
+
+  /// Row-wise normalization of the last dimension.
+  nn::Tensor apply(const nn::Tensor& x) const;
+};
+
+/// One tabularized encoder layer.
+struct TabularEncoderLayer {
+  std::unique_ptr<LinearKernel> qkv;
+  std::vector<std::unique_ptr<AttentionKernel>> heads;
+  std::unique_ptr<LinearKernel> out_proj;
+  LnParams ln1;
+  std::unique_ptr<LinearKernel> ffn_hidden;
+  std::unique_ptr<LinearKernel> ffn_out;
+  LnParams ln2;
+};
+
+class TabularPredictor {
+ public:
+  explicit TabularPredictor(const nn::ModelConfig& arch) : arch_(arch) {}
+
+  /// Batched query: [B,T,S] segmented addr + pc -> probabilities [B, DO]
+  /// (post-sigmoid-LUT). Samples are independent and processed in parallel.
+  nn::Tensor forward(const nn::Tensor& addr, const nn::Tensor& pc) const;
+
+  /// Single-sample query exposing the per-stage activations; `stages`
+  /// receives one [T, D]-shaped tensor per stage (used for the Fig. 11
+  /// cosine-similarity analysis).
+  nn::Tensor forward_sample(const nn::Tensor& addr, const nn::Tensor& pc,
+                            std::vector<nn::Tensor>* stages = nullptr) const;
+
+  /// Total table storage in bytes (tables + sigmoid LUT + LN params).
+  std::size_t storage_bytes() const;
+
+  const nn::ModelConfig& arch() const { return arch_; }
+
+  // Builder access (populated by the Tabularizer).
+  std::unique_ptr<LinearKernel> addr_kernel;
+  std::unique_ptr<LinearKernel> pc_kernel;
+  nn::Tensor pos_encoding;  ///< [T, D]
+  std::vector<TabularEncoderLayer> layers;
+  LnParams final_ln;
+  std::unique_ptr<LinearKernel> head_kernel;
+  SigmoidLut sigmoid_lut;
+
+ private:
+  nn::ModelConfig arch_;
+};
+
+}  // namespace dart::tabular

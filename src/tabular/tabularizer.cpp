@@ -1,0 +1,265 @@
+#include "tabular/tabularizer.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/ops.hpp"
+
+namespace dart::tabular {
+
+namespace {
+
+/// Stride-subsamples the leading dimension down to at most `max_n` rows.
+nn::Tensor subsample(const nn::Tensor& t, std::size_t max_n) {
+  const std::size_t n = t.dim(0);
+  if (n <= max_n) return t;
+  const std::size_t stride = (n + max_n - 1) / max_n;
+  const std::size_t row_sz = t.numel() / n;
+  std::vector<std::size_t> picks;
+  for (std::size_t i = 0; i < n; i += stride) picks.push_back(i);
+  auto shape = t.shape();
+  shape[0] = picks.size();
+  nn::Tensor out(shape);
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    const float* src = t.data() + picks[i] * row_sz;
+    std::copy(src, src + row_sz, out.data() + i * row_sz);
+  }
+  return out;
+}
+
+nn::Tensor flatten2d(const nn::Tensor& x) {
+  const std::size_t d = x.dim(x.ndim() - 1);
+  return x.reshaped({x.numel() / d, d});
+}
+
+/// Copies an nn::Linear (value + bias) into a fresh layer for fine-tuning.
+nn::Linear clone_linear(const nn::Linear& src) {
+  nn::Linear copy(src.in_dim(), src.out_dim(), /*seed=*/1, "ft_copy");
+  copy.mutable_weight() = src.weight();
+  copy.mutable_bias() = src.bias();
+  return copy;
+}
+
+LnParams copy_ln(const nn::LayerNorm& ln) {
+  return LnParams{ln.gamma(), ln.beta(), 1e-5f};
+}
+
+/// Adds the positional encoding to every sample of a [N, T, D] tensor.
+void add_pos(nn::Tensor& x, const nn::Tensor& pos) {
+  const std::size_t n = x.dim(0), t_len = x.dim(1), d = x.dim(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < t_len; ++t) {
+      float* row = x.data() + (i * t_len + t) * d;
+      const float* p = pos.row(t);
+      for (std::size_t j = 0; j < d; ++j) row[j] += p[j];
+    }
+  }
+}
+
+void record_stage(TabularizeReport* report, const std::string& name, const nn::Tensor& approx,
+                  const nn::Tensor& ref) {
+  if (report == nullptr) return;
+  report->stages.push_back({name, nn::ops::cosine_similarity(approx, ref)});
+}
+
+}  // namespace
+
+TabularPredictor tabularize(nn::AddressPredictor& model, const nn::Tensor& addr,
+                            const nn::Tensor& pc, const TabularizeOptions& options,
+                            TabularizeReport* report) {
+  const nn::ModelConfig& arch = model.config();
+  if (!config_is_valid(arch, options.tables)) {
+    throw std::invalid_argument("tabularize: table config incompatible with architecture");
+  }
+  nn::Tensor addr_s = subsample(addr, options.max_train_samples);
+  nn::Tensor pc_s = subsample(pc, options.max_train_samples);
+  const std::size_t n = addr_s.dim(0);
+  const std::size_t t_len = arch.seq_len;
+  const std::size_t d = arch.dim;
+  const std::size_t heads = arch.heads;
+  const std::size_t dh = d / heads;
+
+  TabularPredictor tab(arch);
+  tab.pos_encoding = model.pos_encoding().value;
+
+  KernelConfig lin_cfg;
+  lin_cfg.encoder = options.encoder;
+  lin_cfg.kmeans_iters = options.kmeans_iters;
+
+  auto make_linear_kernel = [&](const nn::Linear& layer, const nn::Tensor& rows,
+                                const TableLayerConfig& tc, std::uint64_t stream) {
+    KernelConfig cfg = lin_cfg;
+    cfg.num_prototypes = tc.k;
+    cfg.num_subspaces = tc.c;
+    cfg.seed = common::derive_seed(options.seed, stream);
+    return std::make_unique<LinearKernel>(layer.weight(), layer.bias(), rows, cfg);
+  };
+
+  // --- Stage 0: input embeddings (first layers -> no fine-tuning) ---------
+  tab.addr_kernel = make_linear_kernel(model.addr_embed(), flatten2d(addr_s),
+                                       options.tables.input, 1);
+  tab.pc_kernel = make_linear_kernel(model.pc_embed(), flatten2d(pc_s), options.tables.input, 2);
+
+  // Reference activations (original NN on original data).
+  nn::Tensor x_ref = model.addr_embed().apply(addr_s);
+  {
+    nn::Tensor ep = model.pc_embed().apply(pc_s);
+    x_ref += ep;
+    add_pos(x_ref, tab.pos_encoding);
+  }
+  // Approximated activations (tabular path so far).
+  nn::Tensor x_hat = tab.addr_kernel->query3d(addr_s);
+  {
+    nn::Tensor ep = tab.pc_kernel->query3d(pc_s);
+    x_hat += ep;
+    add_pos(x_hat, tab.pos_encoding);
+  }
+  record_stage(report, "embed", x_hat, x_ref);
+
+  // --- Encoder layers ------------------------------------------------------
+  for (std::size_t l = 0; l < arch.layers; ++l) {
+    auto& enc = *model.encoder_layers()[l];
+    TabularEncoderLayer tl;
+    const std::string prefix = "enc" + std::to_string(l);
+
+    // QKV projection (linear layer i>0: fine-tune on X̂ -> reference QKV).
+    nn::Tensor qkv_ref = enc.msa().qkv_proj().apply(x_ref);  // [N,T,3D]
+    nn::Linear qkv_ft = clone_linear(enc.msa().qkv_proj());
+    if (options.fine_tune) {
+      const double mse =
+          fine_tune_linear(qkv_ft, flatten2d(x_hat), flatten2d(qkv_ref), options.ft);
+      if (report != nullptr) report->finetune_mse.push_back(mse);
+    }
+    tl.qkv = make_linear_kernel(qkv_ft, flatten2d(x_hat), options.tables.attention, 10 + l * 8);
+    nn::Tensor qkv_hat = tl.qkv->query3d(x_hat);
+    record_stage(report, prefix + ".qkv", qkv_hat, qkv_ref);
+
+    // Attention kernels, one per head, trained on the tabular QKV̂.
+    nn::Tensor concat_ref = enc.msa().attention_core(qkv_ref);
+    nn::Tensor concat_hat({n, t_len, d});
+    for (std::size_t h = 0; h < heads; ++h) {
+      nn::Tensor q({n, t_len, dh}), k({n, t_len, dh}), v({n, t_len, dh});
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t t = 0; t < t_len; ++t) {
+          const float* row = qkv_hat.data() + (i * t_len + t) * 3 * d;
+          for (std::size_t j = 0; j < dh; ++j) {
+            q.at(i, t, j) = row[h * dh + j];
+            k.at(i, t, j) = row[d + h * dh + j];
+            v.at(i, t, j) = row[2 * d + h * dh + j];
+          }
+        }
+      }
+      AttentionKernelConfig acfg;
+      acfg.num_prototypes = options.tables.attention.k;
+      acfg.ck = options.tables.attention.c;
+      acfg.ct = options.tables.attention.c;
+      acfg.activation = options.attention_activation;
+      acfg.encoder = options.encoder;
+      acfg.kmeans_iters = options.kmeans_iters;
+      acfg.seed = common::derive_seed(options.seed, 100 + l * 16 + h);
+      auto head_kernel = std::make_unique<AttentionKernel>(q, k, v, acfg);
+      // Propagate the approximation through the head.
+      common::parallel_for_each(n, [&](std::size_t i) {
+        nn::Tensor qs({t_len, dh}), ks({t_len, dh}), vs({t_len, dh});
+        for (std::size_t t = 0; t < t_len; ++t) {
+          for (std::size_t j = 0; j < dh; ++j) {
+            qs.at(t, j) = q.at(i, t, j);
+            ks.at(t, j) = k.at(i, t, j);
+            vs.at(t, j) = v.at(i, t, j);
+          }
+        }
+        nn::Tensor o = head_kernel->query(qs, ks, vs);
+        for (std::size_t t = 0; t < t_len; ++t) {
+          float* dst = concat_hat.data() + (i * t_len + t) * d + h * dh;
+          for (std::size_t j = 0; j < dh; ++j) dst[j] = o.at(t, j);
+        }
+      }, 1);
+      tl.heads.push_back(std::move(head_kernel));
+    }
+    record_stage(report, prefix + ".attn", concat_hat, concat_ref);
+
+    // Output projection + residual + LN1.
+    nn::Tensor out_ref = enc.msa().out_proj().apply(concat_ref);
+    nn::Linear out_ft = clone_linear(enc.msa().out_proj());
+    if (options.fine_tune) {
+      const double mse =
+          fine_tune_linear(out_ft, flatten2d(concat_hat), flatten2d(out_ref), options.ft);
+      if (report != nullptr) report->finetune_mse.push_back(mse);
+    }
+    tl.out_proj =
+        make_linear_kernel(out_ft, flatten2d(concat_hat), options.tables.attention, 11 + l * 8);
+    tl.ln1 = copy_ln(enc.ln1());
+    {
+      nn::Tensor attn_hat = tl.out_proj->query3d(concat_hat);
+      attn_hat += x_hat;
+      x_hat = tl.ln1.apply(attn_hat);
+      out_ref += x_ref;
+      x_ref = enc.ln1().apply(out_ref);
+    }
+    record_stage(report, prefix + ".ln1", x_hat, x_ref);
+
+    // FFN hidden.
+    nn::Tensor hidden_ref = enc.ffn().hidden_layer().apply(x_ref);
+    nn::Linear hidden_ft = clone_linear(enc.ffn().hidden_layer());
+    if (options.fine_tune) {
+      const double mse =
+          fine_tune_linear(hidden_ft, flatten2d(x_hat), flatten2d(hidden_ref), options.ft);
+      if (report != nullptr) report->finetune_mse.push_back(mse);
+    }
+    tl.ffn_hidden = make_linear_kernel(hidden_ft, flatten2d(x_hat), options.tables.ffn,
+                                       12 + l * 8);
+    nn::Tensor hidden_hat = tl.ffn_hidden->query3d(x_hat);
+    // Exact ReLU on both paths.
+    for (std::size_t i = 0; i < hidden_hat.numel(); ++i) {
+      hidden_hat[i] = hidden_hat[i] > 0.0f ? hidden_hat[i] : 0.0f;
+    }
+    nn::Tensor hidden_ref_relu(hidden_ref.shape());
+    for (std::size_t i = 0; i < hidden_ref.numel(); ++i) {
+      hidden_ref_relu[i] = hidden_ref[i] > 0.0f ? hidden_ref[i] : 0.0f;
+    }
+
+    // FFN output + residual + LN2.
+    nn::Tensor ffn_ref = enc.ffn().output_layer().apply(hidden_ref_relu);
+    nn::Linear ffn_out_ft = clone_linear(enc.ffn().output_layer());
+    if (options.fine_tune) {
+      const double mse =
+          fine_tune_linear(ffn_out_ft, flatten2d(hidden_hat), flatten2d(ffn_ref), options.ft);
+      if (report != nullptr) report->finetune_mse.push_back(mse);
+    }
+    tl.ffn_out =
+        make_linear_kernel(ffn_out_ft, flatten2d(hidden_hat), options.tables.ffn, 13 + l * 8);
+    tl.ln2 = copy_ln(enc.ln2());
+    {
+      nn::Tensor ffn_hat = tl.ffn_out->query3d(hidden_hat);
+      ffn_hat += x_hat;
+      x_hat = tl.ln2.apply(ffn_hat);
+      ffn_ref += x_ref;
+      x_ref = enc.ln2().apply(ffn_ref);
+    }
+    record_stage(report, prefix + ".ln2", x_hat, x_ref);
+
+    tab.layers.push_back(std::move(tl));
+  }
+
+  // --- Final LN + classification head -------------------------------------
+  tab.final_ln = copy_ln(model.final_ln());
+  x_hat = tab.final_ln.apply(x_hat);
+  x_ref = model.final_ln().apply(x_ref);
+
+  nn::Tensor head_ref = model.head().apply(x_ref);  // [N, T, DO]
+  nn::Linear head_ft = clone_linear(model.head());
+  if (options.fine_tune) {
+    const double mse =
+        fine_tune_linear(head_ft, flatten2d(x_hat), flatten2d(head_ref), options.ft);
+    if (report != nullptr) report->finetune_mse.push_back(mse);
+  }
+  tab.head_kernel = make_linear_kernel(head_ft, flatten2d(x_hat), options.tables.output, 99);
+  if (report != nullptr) {
+    nn::Tensor head_hat = tab.head_kernel->query3d(x_hat);
+    record_stage(report, "head", head_hat, head_ref);
+  }
+  return tab;
+}
+
+}  // namespace dart::tabular

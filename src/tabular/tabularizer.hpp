@@ -1,0 +1,53 @@
+// Layer-wise tabularization with fine-tuning (the paper's Algorithm 1).
+//
+// Walks the trained attention model layer by layer; for every linear layer
+// it (optionally) fine-tunes a copy of the weights on the tabular-
+// approximated inputs (Eq. 26), then converts it with the linear kernel; the
+// attention operation uses the attention kernel; LayerNorm passes through;
+// the output sigmoid becomes a LUT. The approximated activations X̂ are
+// propagated through the partially-built table hierarchy, so each stage is
+// trained on exactly the distribution it will see at query time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/transformer.hpp"
+#include "tabular/configurator.hpp"
+#include "tabular/finetune.hpp"
+#include "tabular/tabular_predictor.hpp"
+
+namespace dart::tabular {
+
+struct TabularizeOptions {
+  TableConfig tables = TableConfig::uniform(128, 2);
+  bool fine_tune = true;  ///< Algorithm 1 line 7-9; off = "DART w/o FT"
+  FineTuneOptions ft;
+  AttentionActivation attention_activation = AttentionActivation::kSigmoidFolded;
+  pq::EncoderKind encoder = pq::EncoderKind::kExact;
+  std::size_t kmeans_iters = 8;
+  /// Training windows used for prototype learning / fine-tuning; the input
+  /// set is stride-subsampled down to this count to bound k-means cost.
+  std::size_t max_train_samples = 2048;
+  std::uint64_t seed = 33;
+};
+
+/// Per-stage fidelity of the tabular model vs the NN (Fig. 11's metric).
+struct StageSimilarity {
+  std::string name;       ///< e.g. "enc0.attn"
+  double cosine = 0.0;    ///< cosine similarity of X̂ vs the NN activation
+};
+
+struct TabularizeReport {
+  std::vector<StageSimilarity> stages;
+  std::vector<double> finetune_mse;  ///< residual MSE per fine-tuned layer
+};
+
+/// Builds the table hierarchy from a trained model and its training inputs
+/// (addr/pc are [N, T, S] tensors). The model is not mutated (fine-tuning
+/// operates on copies). `report` is optional.
+TabularPredictor tabularize(nn::AddressPredictor& model, const nn::Tensor& addr,
+                            const nn::Tensor& pc, const TabularizeOptions& options,
+                            TabularizeReport* report = nullptr);
+
+}  // namespace dart::tabular

@@ -1,0 +1,60 @@
+#include "trace/preprocess.hpp"
+
+#include <stdexcept>
+
+namespace dart::trace {
+
+void segment_value(std::uint64_t value, std::size_t segments, std::size_t bits, float* out) {
+  const std::uint64_t mask = (1ULL << bits) - 1;
+  const float norm = 1.0f / static_cast<float>(mask);
+  for (std::size_t s = 0; s < segments; ++s) {
+    out[s] = static_cast<float>((value >> (s * bits)) & mask) * norm;
+  }
+}
+
+int delta_to_bit(std::int64_t delta, std::size_t bitmap_size) {
+  if (delta == 0) return -1;
+  const auto half = static_cast<std::int64_t>(bitmap_size / 2);
+  if (delta < -half || delta >= half) return -1;
+  return static_cast<int>(delta + half);
+}
+
+std::int64_t bit_to_delta(std::size_t bit, std::size_t bitmap_size) {
+  return static_cast<std::int64_t>(bit) - static_cast<std::int64_t>(bitmap_size / 2);
+}
+
+nn::Dataset make_dataset(const MemoryTrace& trace, const PreprocessOptions& opt) {
+  const std::size_t t_len = opt.history;
+  if (trace.size() < t_len + opt.lookforward + 1) {
+    throw std::invalid_argument("make_dataset: trace too short for the window sizes");
+  }
+  std::size_t n = trace.size() - t_len - opt.lookforward;
+  if (opt.max_samples > 0) n = std::min(n, opt.max_samples);
+
+  nn::Dataset ds;
+  ds.addr = nn::Tensor({n, t_len, opt.addr_segments});
+  ds.pc = nn::Tensor({n, t_len, opt.pc_segments});
+  ds.labels = nn::Tensor({n, opt.bitmap_size});
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // History window ends at access index `cur` (the current access).
+    const std::size_t cur = i + t_len - 1;
+    for (std::size_t t = 0; t < t_len; ++t) {
+      const MemoryAccess& a = trace[i + t];
+      segment_value(block_of(a.addr), opt.addr_segments, opt.segment_bits,
+                    ds.addr.data() + (i * t_len + t) * opt.addr_segments);
+      segment_value(a.pc >> 2, opt.pc_segments, opt.segment_bits,
+                    ds.pc.data() + (i * t_len + t) * opt.pc_segments);
+    }
+    const auto cur_block = static_cast<std::int64_t>(block_of(trace[cur].addr));
+    float* label = ds.labels.row(i);
+    for (std::size_t w = 1; w <= opt.lookforward; ++w) {
+      const auto fut = static_cast<std::int64_t>(block_of(trace[cur + w].addr));
+      const int bit = delta_to_bit(fut - cur_block, opt.bitmap_size);
+      if (bit >= 0) label[bit] = 1.0f;
+    }
+  }
+  return ds;
+}
+
+}  // namespace dart::trace

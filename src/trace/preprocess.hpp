@@ -1,0 +1,41 @@
+// Trace preprocessing (the paper's §VI-A, following TransFetch):
+//  * Segmented address input — a block address is split into S segments of
+//    `segment_bits` bits each, mapping a T-length history to a T x S matrix.
+//  * Delta bitmap labels — bit j of the DO-wide bitmap is set when the block
+//    delta (future block - current block) equals j - DO/2 for some access
+//    within the look-forward window.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/dataset.hpp"
+#include "trace/trace.hpp"
+
+namespace dart::trace {
+
+struct PreprocessOptions {
+  std::size_t history = 8;        ///< T — input history length
+  std::size_t segment_bits = 6;   ///< c — bits per segment
+  std::size_t addr_segments = 8;  ///< S for block addresses (covers 48 bits)
+  std::size_t pc_segments = 8;    ///< S for program counters
+  std::size_t bitmap_size = 128;  ///< DO — delta bitmap width (deltas in [-DO/2, DO/2))
+  std::size_t lookforward = 8;    ///< window of future accesses labeled
+  std::size_t max_samples = 0;    ///< 0 = unlimited
+};
+
+/// Splits `value` into `segments` chunks of `bits` bits (LSB first) and
+/// normalizes each to [0, 1]. Writes `segments` floats to `out`.
+void segment_value(std::uint64_t value, std::size_t segments, std::size_t bits, float* out);
+
+/// Builds the supervised dataset from a trace. Windows whose look-forward
+/// contains no in-range delta get an all-zero bitmap (kept: the model must
+/// learn to stay silent on them).
+nn::Dataset make_dataset(const MemoryTrace& trace, const PreprocessOptions& options);
+
+/// Delta -> bitmap bit index; returns -1 when out of range or zero.
+int delta_to_bit(std::int64_t delta, std::size_t bitmap_size);
+
+/// Bitmap bit index -> delta.
+std::int64_t bit_to_delta(std::size_t bit, std::size_t bitmap_size);
+
+}  // namespace dart::trace

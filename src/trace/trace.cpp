@@ -1,0 +1,31 @@
+#include "trace/trace.hpp"
+
+#include <unordered_set>
+
+namespace dart::trace {
+
+TraceStats compute_stats(const MemoryTrace& trace) {
+  TraceStats stats;
+  stats.accesses = trace.size();
+  std::unordered_set<std::uint64_t> blocks, pages;
+  std::unordered_set<std::int64_t> deltas;
+  blocks.reserve(trace.size());
+  std::uint64_t prev_block = 0;
+  bool have_prev = false;
+  for (const auto& a : trace) {
+    const std::uint64_t blk = block_of(a.addr);
+    blocks.insert(blk);
+    pages.insert(page_of(a.addr));
+    if (have_prev) {
+      deltas.insert(static_cast<std::int64_t>(blk) - static_cast<std::int64_t>(prev_block));
+    }
+    prev_block = blk;
+    have_prev = true;
+  }
+  stats.unique_blocks = blocks.size();
+  stats.unique_pages = pages.size();
+  stats.unique_deltas = deltas.size();
+  return stats;
+}
+
+}  // namespace dart::trace

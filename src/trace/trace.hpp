@@ -1,0 +1,41 @@
+// Memory-access trace substrate.
+//
+// A trace is the sequence of LLC-level memory accesses of one application:
+// (instruction id, program counter, byte address, read/write). Traces feed
+// both the offline training pipeline (§VI-A preprocessing) and the
+// trace-driven simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dart::trace {
+
+struct MemoryAccess {
+  std::uint64_t instr_id = 0;  ///< retiring instruction count at this access
+  std::uint64_t pc = 0;        ///< program counter of the memory instruction
+  std::uint64_t addr = 0;      ///< byte address
+  bool is_write = false;
+};
+
+using MemoryTrace = std::vector<MemoryAccess>;
+
+/// 64-byte cache line index of a byte address.
+inline std::uint64_t block_of(std::uint64_t addr) { return addr >> 6; }
+
+/// 4-KiB page index of a byte address.
+inline std::uint64_t page_of(std::uint64_t addr) { return addr >> 12; }
+
+/// Table IV statistics: unique block addresses, pages, and block deltas of
+/// consecutive accesses.
+struct TraceStats {
+  std::size_t accesses = 0;
+  std::size_t unique_blocks = 0;
+  std::size_t unique_pages = 0;
+  std::size_t unique_deltas = 0;
+};
+
+TraceStats compute_stats(const MemoryTrace& trace);
+
+}  // namespace dart::trace

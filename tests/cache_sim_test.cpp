@@ -1,0 +1,229 @@
+// Tests for the cache model and the timing simulator.
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace dart::sim {
+namespace {
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(4096, 4);  // 16 sets
+  EXPECT_FALSE(c.access(5));
+  c.insert(5, false);
+  EXPECT_TRUE(c.access(5));
+  EXPECT_EQ(c.accesses(), 2u);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictsOldestWithinSet) {
+  Cache c(2 * 64 * 4, 2);  // 4 sets, 2 ways
+  // Blocks mapping to set 0: 0, 4, 8 (block % 4).
+  c.insert(0, false);
+  c.insert(4, false);
+  EXPECT_TRUE(c.access(0));  // make 0 most-recent
+  const auto info = c.insert(8, false);
+  EXPECT_TRUE(info.evicted);
+  EXPECT_EQ(info.victim_block, 4u);  // LRU victim
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(8));
+  EXPECT_FALSE(c.contains(4));
+}
+
+TEST(Cache, InsertIsIdempotentForPresentLine) {
+  Cache c(4096, 4);
+  c.insert(7, false);
+  const auto info = c.insert(7, true);
+  EXPECT_FALSE(info.evicted);
+  EXPECT_TRUE(c.contains(7));
+}
+
+TEST(Cache, PrefetchUsefulAccounting) {
+  Cache c(4096, 4);
+  c.insert(3, /*prefetched=*/true);
+  EXPECT_EQ(c.useful_prefetches(), 0u);
+  EXPECT_TRUE(c.access(3));
+  EXPECT_TRUE(c.last_hit_was_useful_prefetch());
+  EXPECT_EQ(c.useful_prefetches(), 1u);
+  // Second hit on the same line is not counted again.
+  EXPECT_TRUE(c.access(3));
+  EXPECT_FALSE(c.last_hit_was_useful_prefetch());
+  EXPECT_EQ(c.useful_prefetches(), 1u);
+}
+
+TEST(Cache, UnusedPrefetchEvictionCounted) {
+  Cache c(2 * 64 * 1, 1);  // 2 sets, direct-mapped
+  c.insert(0, true);
+  c.insert(2, false);  // same set (block % 2 == 0), evicts unused prefetch
+  EXPECT_EQ(c.unused_prefetch_evictions(), 1u);
+}
+
+TEST(Cache, NonPowerOfTwoSetCountsWork) {
+  Cache c(12 * 64, 4);  // 3 sets
+  EXPECT_EQ(c.num_sets(), 3u);
+  for (std::uint64_t b = 0; b < 30; ++b) c.insert(b, false);
+  std::size_t present = 0;
+  for (std::uint64_t b = 0; b < 30; ++b) present += c.contains(b) ? 1 : 0;
+  EXPECT_EQ(present, 12u);  // exactly capacity
+}
+
+TEST(Cache, ZeroSizeRejected) {
+  EXPECT_THROW(Cache(0, 4), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- simulator
+
+trace::MemoryTrace sequential_trace(std::size_t n, std::uint64_t stride_blocks = 1) {
+  trace::MemoryTrace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back({(i + 1) * 4, 0x400, i * stride_blocks * 64, false});
+  }
+  return t;
+}
+
+TEST(Simulator, RepeatedHitsApproachFrontEndBound) {
+  SimConfig cfg;
+  Simulator sim(cfg);
+  // Tiny working set: after warmup everything L1-hits.
+  trace::MemoryTrace t;
+  for (std::size_t i = 0; i < 20000; ++i) {
+    t.push_back({(i + 1) * 4, 0x400, (i % 16) * 64, false});
+  }
+  const SimStats s = sim.run(t);
+  EXPECT_GT(s.ipc(), 2.0);  // near the 4-wide front-end bound
+  EXPECT_EQ(s.llc_demand_misses, 16u);
+}
+
+TEST(Simulator, MissesReduceIpc) {
+  SimConfig cfg;
+  Simulator sim(cfg);
+  // Small resident loop (all hits after warmup) vs huge-stride all-miss.
+  trace::MemoryTrace resident;
+  for (std::size_t i = 0; i < 20000; ++i) {
+    resident.push_back({(i + 1) * 4, 0x400, (i % 32) * 64, false});
+  }
+  const SimStats hits = sim.run(resident);
+  const SimStats misses = sim.run(sequential_trace(20000, 1 << 14));
+  EXPECT_LT(misses.ipc(), hits.ipc());
+  EXPECT_GT(misses.llc_demand_misses, 19000u);
+}
+
+TEST(Simulator, MshrLimitSerializesMisses) {
+  SimConfig few = {};
+  few.llc_mshrs = 1;
+  SimConfig many = {};
+  many.llc_mshrs = 64;
+  const auto t = sequential_trace(20000, 1 << 14);
+  const SimStats s_few = Simulator(few).run(t);
+  const SimStats s_many = Simulator(many).run(t);
+  EXPECT_LT(s_few.ipc(), s_many.ipc());
+}
+
+/// Oracle prefetcher: always prefetches the next `degree` strided blocks.
+class OraclePrefetcher final : public Prefetcher {
+ public:
+  explicit OraclePrefetcher(std::int64_t stride, std::size_t degree = 4)
+      : stride_(stride), degree_(degree) {}
+  void on_access(std::uint64_t block, std::uint64_t, bool, std::uint64_t,
+                 std::vector<std::uint64_t>& out) override {
+    for (std::size_t d = 1; d <= degree_; ++d) {
+      out.push_back(block + static_cast<std::uint64_t>(stride_ * static_cast<std::int64_t>(d)));
+    }
+  }
+  std::size_t storage_bytes() const override { return 0; }
+  std::string name() const override { return "Oracle"; }
+
+ private:
+  std::int64_t stride_;
+  std::size_t degree_;
+};
+
+TEST(Simulator, OraclePrefetcherLiftsIpcAndScoresHigh) {
+  SimConfig cfg;
+  Simulator sim(cfg);
+  const auto t = sequential_trace(30000, 1 << 14);  // all-miss stream
+  const SimStats base = sim.run(t);
+  OraclePrefetcher oracle(1 << 14);
+  const SimStats pf = sim.run(t, &oracle);
+  EXPECT_GT(pf.ipc(), base.ipc());
+  EXPECT_GT(pf.accuracy(), 0.9);
+  EXPECT_GT(pf.coverage(), 0.5);
+}
+
+TEST(Simulator, WrongPrefetchesScoreZeroAccuracy) {
+  SimConfig cfg;
+  Simulator sim(cfg);
+  const auto t = sequential_trace(20000, 1 << 14);
+  OraclePrefetcher wrong(-7);  // never-used predictions
+  const SimStats pf = sim.run(t, &wrong);
+  EXPECT_GT(pf.pf_issued, 0u);
+  EXPECT_LT(pf.accuracy(), 0.05);
+  EXPECT_LT(pf.coverage(), 0.05);
+}
+
+TEST(Simulator, PredictionLatencyDegradesCoverage) {
+  class LatentOracle final : public Prefetcher {
+   public:
+    LatentOracle(std::int64_t stride, std::size_t latency)
+        : stride_(stride), latency_(latency) {}
+    void on_access(std::uint64_t block, std::uint64_t, bool, std::uint64_t,
+                   std::vector<std::uint64_t>& out) override {
+      out.push_back(block + static_cast<std::uint64_t>(stride_));
+    }
+    std::size_t prediction_latency() const override { return latency_; }
+    std::size_t storage_bytes() const override { return 0; }
+    std::string name() const override { return "LatentOracle"; }
+
+   private:
+    std::int64_t stride_;
+    std::size_t latency_;
+  };
+  SimConfig cfg;
+  Simulator sim(cfg);
+  const auto t = sequential_trace(30000, 1 << 14);
+  LatentOracle fast(1 << 14, 0);
+  LatentOracle slow(1 << 14, 50000);
+  const SimStats s_fast = sim.run(t, &fast);
+  const SimStats s_slow = sim.run(t, &slow);
+  // The paper's central observation: latency kills timeliness, so IPC and
+  // coverage collapse even with identical predictions.
+  EXPECT_GT(s_fast.ipc(), s_slow.ipc());
+  EXPECT_GT(s_fast.coverage(), s_slow.coverage() + 0.2);
+}
+
+TEST(Simulator, StatsAreDeterministic) {
+  SimConfig cfg;
+  Simulator sim(cfg);
+  const auto t = trace::generate(trace::App::kWrf, 30000, 9);
+  const SimStats a = sim.run(t);
+  const SimStats b = sim.run(t);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.llc_demand_misses, b.llc_demand_misses);
+}
+
+TEST(ExtractLlcTrace, FiltersCacheFriendlyAccesses) {
+  SimConfig cfg;
+  // Tiny loop fits in L1: almost nothing reaches the LLC.
+  trace::MemoryTrace t;
+  for (std::size_t i = 0; i < 10000; ++i) {
+    t.push_back({(i + 1) * 4, 0x400, (i % 8) * 64, false});
+  }
+  const auto llc = extract_llc_trace(t, cfg);
+  EXPECT_LT(llc.size(), 32u);
+  // A pointer-chase stream mostly reaches the LLC.
+  const auto chase = trace::generate(trace::App::kMcf, 10000, 3);
+  const auto llc2 = extract_llc_trace(chase, cfg);
+  EXPECT_GT(llc2.size(), chase.size() / 10);
+}
+
+TEST(SimStats, RatioEdgeCases) {
+  SimStats s;
+  EXPECT_EQ(s.ipc(), 0.0);
+  EXPECT_EQ(s.accuracy(), 0.0);
+  EXPECT_EQ(s.coverage(), 0.0);
+}
+
+}  // namespace
+}  // namespace dart::sim

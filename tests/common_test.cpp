@@ -1,0 +1,165 @@
+// Unit tests for the common utilities: thread pool, parallel_for, RNG,
+// env-var parsing, and table printing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/table_printer.hpp"
+#include "common/thread_pool.hpp"
+
+namespace dart::common {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(10000);
+  parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  }, 16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, HandlesZeroAndSingleElement) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> total{0};
+  parallel_for(1, [&](std::size_t b, std::size_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ParallelFor, NestedCallsExecuteInline) {
+  // Nested parallel_for must not deadlock the bounded pool.
+  std::atomic<int> total{0};
+  parallel_for(8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      parallel_for(100, [&](std::size_t b2, std::size_t e2) {
+        total += static_cast<int>(e2 - b2);
+      }, 1);
+    }
+  }, 1);
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ParallelForEach, MatchesSerialSum) {
+  std::vector<std::atomic<long>> acc(1);
+  std::atomic<long> sum{0};
+  parallel_for_each(1000, [&](std::size_t i) { sum += static_cast<long>(i); }, 8);
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 100000) == b.uniform_int(0, 100000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(1);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(0, 3);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ZipfLikeStaysInRangeAndIsSkewed) {
+  Rng r(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t v = r.zipf_like(10, 0.5);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  EXPECT_GT(counts[0], counts[5]);  // heavy head
+}
+
+TEST(Rng, DeriveSeedDecorrelatesStreams) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+  EXPECT_EQ(derive_seed(5, 9), derive_seed(5, 9));
+}
+
+TEST(Env, IntParsesAndFallsBack) {
+  ::setenv("DART_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("DART_TEST_INT", 7), 42);
+  ::setenv("DART_TEST_INT", "notanint", 1);
+  EXPECT_EQ(env_int("DART_TEST_INT", 7), 7);
+  ::unsetenv("DART_TEST_INT");
+  EXPECT_EQ(env_int("DART_TEST_INT", 7), 7);
+}
+
+TEST(Env, DoubleParses) {
+  ::setenv("DART_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("DART_TEST_DBL", 1.0), 2.5);
+  ::unsetenv("DART_TEST_DBL");
+}
+
+TEST(Env, ListSplitsOnComma) {
+  ::setenv("DART_TEST_LIST", "a,b,,c", 1);
+  const auto items = env_list("DART_TEST_LIST");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], "a");
+  EXPECT_EQ(items[2], "c");
+  ::unsetenv("DART_TEST_LIST");
+}
+
+TEST(TablePrinter, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fmt_bytes(864400.0), "864.4K");
+  EXPECT_EQ(TablePrinter::fmt_bytes(3.75e6), "3.75M");
+  EXPECT_EQ(TablePrinter::fmt_count(98.3e6), "98.3M");
+  EXPECT_EQ(TablePrinter::fmt_pct(0.376), "37.6%");
+}
+
+TEST(TablePrinter, WritesCsv) {
+  TablePrinter t("test");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "two,with comma"});
+  const std::string path = "/tmp/dart_test_table.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"two,with comma\"");
+}
+
+}  // namespace
+}  // namespace dart::common

@@ -1,0 +1,177 @@
+// Tests for the analytic complexity model (Eq. 16-23) and the table
+// configurator (§VI-C): formula exactness, Table V magnitudes, and the
+// latency-major greedy search.
+#include <gtest/gtest.h>
+
+#include "core/configs.hpp"
+#include "tabular/configurator.hpp"
+
+namespace dart::tabular {
+namespace {
+
+TEST(Log2Ceil, Values) {
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(128), 7u);
+  EXPECT_EQ(log2_ceil(1024), 10u);
+}
+
+TEST(KernelFormulas, MatchEquations16To21) {
+  // K=128 -> logK=7; C=2 -> logC=1.
+  EXPECT_EQ(linear_kernel_latency(128, 2), 7u + 1u + 1u);           // Eq. 16
+  EXPECT_EQ(attention_kernel_latency(128, 2), 2u * 9u);             // Eq. 17
+  EXPECT_EQ(linear_kernel_storage_bits(8, 32, 128, 2, 32),          // Eq. 18
+            8u * 2u * 7u + 32u * 128u * 2u * 32u);
+  EXPECT_EQ(attention_kernel_storage_bits(8, 16, 128, 2, 32),       // Eq. 19
+            (3u * 8u + 16u) * 2u * 7u + 2u * 128u * 128u * 2u * 32u);
+  EXPECT_EQ(linear_kernel_ops(8, 32, 128, 2), 8u * 2u * 7u + 8u * 32u * 1u);  // Eq. 20
+  EXPECT_EQ(attention_kernel_ops(8, 16, 128, 2),                    // Eq. 21
+            (3u * 8u + 16u) * 2u * 7u + (64u + 256u) * 1u);
+}
+
+TEST(TableConfig, UniformAppliesEverywhere) {
+  TableConfig cfg = TableConfig::uniform(64, 4);
+  EXPECT_EQ(cfg.input.k, 64u);
+  EXPECT_EQ(cfg.attention.c, 4u);
+  EXPECT_EQ(cfg.ffn.k, 64u);
+  EXPECT_EQ(cfg.output.c, 4u);
+}
+
+TEST(TableVReproduction, DartLatencyNearPaper) {
+  // Paper Table V: DART (L=1, D=32, H=2, K=128, C=2) has latency 97 cycles;
+  // our fixed-cost charges for LayerNorm/sigmoid differ by a few cycles.
+  const auto variant = core::dart_variant();
+  const ModelCost cost = tabular_model_cost(variant.arch, variant.tables);
+  EXPECT_GE(cost.latency_cycles, 85u);
+  EXPECT_LE(cost.latency_cycles, 100u);
+}
+
+TEST(TableVReproduction, DartStorageNearPaper) {
+  // Paper: 864.4 KB. Accept the right order of magnitude (our fused-QKV
+  // width differs slightly from the paper's 3*H*DA accounting).
+  const auto variant = core::dart_variant();
+  const ModelCost cost = tabular_model_cost(variant.arch, variant.tables);
+  EXPECT_GT(cost.storage_bytes(), 400e3);
+  EXPECT_LT(cost.storage_bytes(), 1.6e6);
+}
+
+TEST(TableVReproduction, TeacherAndStudentLatencies) {
+  // Paper: Teacher 16.5K cycles, Student 908 cycles (systolic-array model).
+  const ModelCost teacher = nn_model_cost(core::paper_teacher_config());
+  const ModelCost student = nn_model_cost(core::paper_student_config());
+  EXPECT_GT(teacher.latency_cycles, 10000u);
+  EXPECT_LT(teacher.latency_cycles, 25000u);
+  EXPECT_GT(student.latency_cycles, 500u);
+  EXPECT_LT(student.latency_cycles, 1500u);
+}
+
+TEST(TableVReproduction, SpeedupRatiosHoldShape) {
+  // Headline claims: DART accelerates the teacher by ~170x and the student
+  // by ~9.4x; arithmetic-op reductions of 99.99% and 91.83%.
+  const ModelCost teacher = nn_model_cost(core::paper_teacher_config());
+  const ModelCost student = nn_model_cost(core::paper_student_config());
+  const auto variant = core::dart_variant();
+  const ModelCost dart = tabular_model_cost(variant.arch, variant.tables);
+  const double teacher_speedup =
+      static_cast<double>(teacher.latency_cycles) / dart.latency_cycles;
+  const double student_speedup =
+      static_cast<double>(student.latency_cycles) / dart.latency_cycles;
+  EXPECT_GT(teacher_speedup, 100.0);
+  EXPECT_GT(student_speedup, 5.0);
+  EXPECT_LT(student_speedup, 20.0);
+  const double op_red_teacher =
+      1.0 - static_cast<double>(dart.arithmetic_ops) / teacher.arithmetic_ops;
+  const double op_red_student =
+      1.0 - static_cast<double>(dart.arithmetic_ops) / student.arithmetic_ops;
+  EXPECT_GT(op_red_teacher, 0.999);
+  EXPECT_GT(op_red_student, 0.85);
+}
+
+TEST(ConfigValidity, ChecksDivisibility) {
+  nn::ModelConfig arch = core::paper_student_config();
+  EXPECT_TRUE(config_is_valid(arch, TableConfig::uniform(128, 2)));
+  // C=4 partitions per-head Dk=16 and T=8 fine; C=16 must fail (Dk/H).
+  EXPECT_TRUE(config_is_valid(arch, TableConfig::uniform(128, 4)));
+  EXPECT_FALSE(config_is_valid(arch, TableConfig::uniform(128, 16)));
+}
+
+ConfiguratorOptions default_opts() {
+  ConfiguratorOptions o;
+  o.base = core::paper_student_config();
+  return o;
+}
+
+TEST(Configurator, EnumeratesOnlyValidCandidates) {
+  TableConfigurator cfg(default_opts());
+  ASSERT_GT(cfg.candidates().size(), 10u);
+  for (const auto& cand : cfg.candidates()) {
+    EXPECT_TRUE(config_is_valid(cand.arch, cand.tables)) << cand.to_string();
+  }
+}
+
+TEST(Configurator, RespectsBothConstraints) {
+  TableConfigurator cfg(default_opts());
+  const auto choice = cfg.configure(100, 1e6);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_LT(choice->cost.latency_cycles, 100u);
+  EXPECT_LT(choice->cost.storage_bytes(), 1e6);
+}
+
+TEST(Configurator, LatencyMajorGreedyPicksHighestFittingLatency) {
+  TableConfigurator cfg(default_opts());
+  const auto choice = cfg.configure(100, 1e9);  // storage unconstrained
+  ASSERT_TRUE(choice.has_value());
+  // No valid candidate with latency in (choice, 100) may exist.
+  for (const auto& cand : cfg.candidates()) {
+    if (cand.cost.latency_cycles < 100) {
+      EXPECT_LE(cand.cost.latency_cycles, choice->cost.latency_cycles);
+    }
+  }
+}
+
+TEST(Configurator, FallsBackToLowerLatencyWhenStorageTight) {
+  TableConfigurator cfg(default_opts());
+  const auto loose = cfg.configure(200, 1e9);
+  const auto tight = cfg.configure(200, 50e3);
+  ASSERT_TRUE(loose.has_value());
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_LT(tight->cost.storage_bytes(), 50e3);
+  EXPECT_LE(tight->cost.storage_bytes(), loose->cost.storage_bytes());
+}
+
+TEST(Configurator, ReturnsNulloptWhenImpossible) {
+  TableConfigurator cfg(default_opts());
+  EXPECT_FALSE(cfg.configure(2, 100).has_value());
+}
+
+class VariantFits : public ::testing::TestWithParam<int> {};
+
+TEST_P(VariantFits, TableVIIIVariantsMeetTheirConstraints) {
+  // Each published variant must satisfy the constraints it was derived from.
+  core::DartVariant v = GetParam() == 0   ? core::dart_s_variant()
+                        : GetParam() == 1 ? core::dart_variant()
+                                          : core::dart_l_variant();
+  const ModelCost cost = tabular_model_cost(v.arch, v.tables);
+  EXPECT_LT(cost.latency_cycles, v.tau_cycles + 10) << v.name;  // small slack
+  EXPECT_LT(cost.storage_bytes(), v.storage_bytes * 1.05) << v.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantFits, ::testing::Values(0, 1, 2));
+
+TEST(Configurator, MonotoneLatencyOrderingOfVariants) {
+  // DART-S < DART < DART-L in both latency and storage (Table VIII shape).
+  const ModelCost s = tabular_model_cost(core::dart_s_variant().arch,
+                                         core::dart_s_variant().tables);
+  const ModelCost m = tabular_model_cost(core::dart_variant().arch,
+                                         core::dart_variant().tables);
+  const ModelCost l = tabular_model_cost(core::dart_l_variant().arch,
+                                         core::dart_l_variant().tables);
+  EXPECT_LT(s.latency_cycles, m.latency_cycles);
+  EXPECT_LT(m.latency_cycles, l.latency_cycles);
+  EXPECT_LT(s.storage_bits, m.storage_bits);
+  EXPECT_LT(m.storage_bits, l.storage_bits);
+}
+
+}  // namespace
+}  // namespace dart::tabular

@@ -1,0 +1,232 @@
+// Tests for layer fine-tuning (Eq. 26) and the full Algorithm-1
+// tabularizer, including the fine-tuning-vs-none comparison behind Fig. 11.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/ops.hpp"
+#include "nn/trainer.hpp"
+#include "tabular/finetune.hpp"
+#include "tabular/tabularizer.hpp"
+
+namespace dart::tabular {
+namespace {
+
+TEST(RidgeSolve, RecoversExactLinearMap) {
+  // B = A W with known W; lambda ~ 0 must recover W.
+  const std::size_t m = 200, p = 6, q = 3;
+  nn::Tensor a = nn::Tensor::randn({m, p}, 1.0f, 1);
+  nn::Tensor w_true = nn::Tensor::randn({p, q}, 1.0f, 2);
+  nn::Tensor b;
+  nn::ops::matmul(a, w_true, b);
+  nn::Tensor w = ridge_solve(a, b, 1e-6f);
+  for (std::size_t i = 0; i < w.numel(); ++i) EXPECT_NEAR(w[i], w_true[i], 1e-3f);
+}
+
+TEST(RidgeSolve, LambdaShrinksSolution) {
+  const std::size_t m = 100, p = 4;
+  nn::Tensor a = nn::Tensor::randn({m, p}, 1.0f, 3);
+  nn::Tensor w_true = nn::Tensor::randn({p, 1}, 1.0f, 4);
+  nn::Tensor b;
+  nn::ops::matmul(a, w_true, b);
+  nn::Tensor w_small = ridge_solve(a, b, 1e-6f);
+  nn::Tensor w_big = ridge_solve(a, b, 100.0f);
+  double n_small = 0.0, n_big = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    n_small += w_small[i] * w_small[i];
+    n_big += w_big[i] * w_big[i];
+  }
+  EXPECT_LT(n_big, n_small);
+}
+
+TEST(RidgeSolve, RejectsShapeMismatch) {
+  nn::Tensor a({10, 3}), b({9, 2});
+  EXPECT_THROW(ridge_solve(a, b, 0.1f), std::invalid_argument);
+}
+
+TEST(FineTune, ClosedFormFixesPerturbedLayer) {
+  // Layer output target Y = W0 x + b0; start from perturbed weights and
+  // fine-tune on noisy inputs: residual MSE must collapse.
+  const std::size_t m = 400, di = 6, dout = 4;
+  nn::Linear truth(di, dout, 5);
+  nn::Tensor x_hat = nn::Tensor::randn({m, di}, 1.0f, 6);
+  nn::Tensor y_ref = truth.apply(x_hat);
+  nn::Linear layer(di, dout, 99);  // different random init
+  FineTuneOptions opt;
+  opt.method = FineTuneMethod::kClosedForm;
+  opt.ridge_lambda = 1e-6f;  // no shrinkage: exact least-squares recovery
+  const double mse = fine_tune_linear(layer, x_hat, y_ref, opt);
+  EXPECT_LT(mse, 1e-4);
+}
+
+TEST(FineTune, SgdReducesMse) {
+  const std::size_t m = 300, di = 5, dout = 3;
+  nn::Linear truth(di, dout, 7);
+  nn::Tensor x_hat = nn::Tensor::randn({m, di}, 1.0f, 8);
+  nn::Tensor y_ref = truth.apply(x_hat);
+  nn::Linear layer(di, dout, 11);
+  nn::Tensor d_unused;
+  const double before = nn::mse_loss(layer.apply(x_hat), y_ref, d_unused);
+  FineTuneOptions opt;
+  opt.method = FineTuneMethod::kSgd;
+  opt.epochs = 60;
+  opt.batch_size = 64;
+  opt.lr = 1e-2f;
+  const double after = fine_tune_linear(layer, x_hat, y_ref, opt);
+  EXPECT_LT(after, before * 0.3);
+}
+
+TEST(FineTune, RejectsShapeMismatch) {
+  nn::Linear layer(4, 2, 1);
+  nn::Tensor x({10, 3}), y({10, 2});
+  EXPECT_THROW(fine_tune_linear(layer, x, y, {}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- tabularizer
+
+struct TinySetup {
+  nn::ModelConfig arch;
+  nn::AddressPredictor model;
+  nn::Dataset data;
+
+  TinySetup()
+      : arch(make_arch()), model(arch, 31), data(make_data(arch)) {
+    nn::TrainOptions opt;
+    opt.epochs = 6;
+    opt.batch_size = 32;
+    nn::train_bce(model, data, opt);
+  }
+
+  static nn::ModelConfig make_arch() {
+    nn::ModelConfig a;
+    a.seq_len = 4;
+    a.addr_dim = 4;
+    a.pc_dim = 4;
+    a.dim = 8;
+    a.ffn_dim = 16;
+    a.out_dim = 16;
+    a.heads = 2;
+    a.layers = 1;
+    return a;
+  }
+
+  static nn::Dataset make_data(const nn::ModelConfig& arch) {
+    const std::size_t n = 600;
+    nn::Dataset ds;
+    ds.addr = nn::Tensor::randn({n, arch.seq_len, arch.addr_dim}, 0.5f, 32);
+    ds.pc = nn::Tensor::randn({n, arch.seq_len, arch.pc_dim}, 0.5f, 33);
+    ds.labels = nn::Tensor({n, arch.out_dim});
+    for (std::size_t i = 0; i < n; ++i) {
+      double mean = 0.0;
+      for (std::size_t k = 0; k < arch.seq_len * arch.addr_dim; ++k) {
+        mean += ds.addr[i * arch.seq_len * arch.addr_dim + k];
+      }
+      mean /= static_cast<double>(arch.seq_len * arch.addr_dim);
+      for (std::size_t j = 0; j < arch.out_dim; ++j) {
+        ds.labels.at(i, j) =
+            mean > (static_cast<double>(j) / arch.out_dim - 0.5) ? 1.0f : 0.0f;
+      }
+    }
+    return ds;
+  }
+
+  TabularizeOptions options(bool fine_tune) const {
+    TabularizeOptions o;
+    o.tables = TableConfig::uniform(64, 2);
+    o.fine_tune = fine_tune;
+    o.kmeans_iters = 10;
+    o.max_train_samples = 400;
+    return o;
+  }
+};
+
+TEST(Tabularizer, ProducesWorkingPredictor) {
+  TinySetup s;
+  TabularizeReport report;
+  TabularPredictor tab = tabularize(s.model, s.data.addr, s.data.pc, s.options(true), &report);
+  // Probabilities valid and F1 close to the NN's.
+  nn::Tensor probs = tab.forward(s.data.addr, s.data.pc);
+  for (std::size_t i = 0; i < probs.numel(); ++i) {
+    EXPECT_GE(probs[i], 0.0f);
+    EXPECT_LE(probs[i], 1.0f);
+  }
+  const double nn_f1 = nn::evaluate_f1(s.model, s.data).f1;
+  const double tab_f1 = nn::f1_score_from_probs(probs, s.data.labels).f1;
+  EXPECT_GT(tab_f1, nn_f1 - 0.15);
+}
+
+TEST(Tabularizer, RecordsAllStages) {
+  TinySetup s;
+  TabularizeReport report;
+  tabularize(s.model, s.data.addr, s.data.pc, s.options(true), &report);
+  // embed + (qkv, attn, ln1, ln2) per layer + head.
+  ASSERT_EQ(report.stages.size(), 1u + 4u * s.arch.layers + 1u);
+  EXPECT_EQ(report.stages.front().name, "embed");
+  EXPECT_EQ(report.stages.back().name, "head");
+  for (const auto& st : report.stages) {
+    EXPECT_GT(st.cosine, 0.3) << st.name;
+    EXPECT_LE(st.cosine, 1.0 + 1e-9) << st.name;
+  }
+  // One fine-tune per linear layer past the input: qkv, out, ffn x2, head.
+  EXPECT_EQ(report.finetune_mse.size(), 4u * s.arch.layers + 1u);
+}
+
+TEST(Tabularizer, FineTuningImprovesOutputFidelity) {
+  TinySetup s;
+  TabularizeReport with_ft, without_ft;
+  tabularize(s.model, s.data.addr, s.data.pc, s.options(true), &with_ft);
+  tabularize(s.model, s.data.addr, s.data.pc, s.options(false), &without_ft);
+  // Fig. 11's claim: fine-tuning raises similarity, most visibly near the
+  // output. Compare the head stage.
+  EXPECT_GE(with_ft.stages.back().cosine, without_ft.stages.back().cosine - 0.01);
+}
+
+TEST(Tabularizer, DoesNotMutateTheModel) {
+  TinySetup s;
+  // Snapshot a weight, tabularize with fine-tuning, verify unchanged.
+  const float before = s.model.head().weight().at(0, 0);
+  tabularize(s.model, s.data.addr, s.data.pc, s.options(true), nullptr);
+  EXPECT_EQ(s.model.head().weight().at(0, 0), before);
+}
+
+TEST(Tabularizer, StorageAccountsForAllTables) {
+  TinySetup s;
+  TabularPredictor tab = tabularize(s.model, s.data.addr, s.data.pc, s.options(true), nullptr);
+  // Lower bound: head kernel alone stores DO*K*C floats.
+  EXPECT_GT(tab.storage_bytes(), s.arch.out_dim * 64 * 2 * sizeof(float));
+}
+
+TEST(Tabularizer, RejectsIncompatibleTables) {
+  TinySetup s;
+  TabularizeOptions bad = s.options(true);
+  bad.tables = TableConfig::uniform(64, 16);  // C=16 cannot divide Dk=4
+  EXPECT_THROW(tabularize(s.model, s.data.addr, s.data.pc, bad, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Tabularizer, DeterministicForFixedSeed) {
+  TinySetup s;
+  TabularPredictor a = tabularize(s.model, s.data.addr, s.data.pc, s.options(true), nullptr);
+  TabularPredictor b = tabularize(s.model, s.data.addr, s.data.pc, s.options(true), nullptr);
+  nn::Dataset probe = s.data.slice(0, 8);
+  nn::Tensor pa = a.forward(probe.addr, probe.pc);
+  nn::Tensor pb = b.forward(probe.addr, probe.pc);
+  for (std::size_t i = 0; i < pa.numel(); ++i) EXPECT_EQ(pa[i], pb[i]);
+}
+
+TEST(Tabularizer, HashTreeEncoderStaysClose) {
+  TinySetup s;
+  TabularizeOptions exact = s.options(true);
+  TabularizeOptions hashed = s.options(true);
+  hashed.encoder = pq::EncoderKind::kHashTree;
+  TabularPredictor te = tabularize(s.model, s.data.addr, s.data.pc, exact, nullptr);
+  TabularPredictor th = tabularize(s.model, s.data.addr, s.data.pc, hashed, nullptr);
+  const double f1e = nn::f1_score_from_probs(te.forward(s.data.addr, s.data.pc),
+                                             s.data.labels).f1;
+  const double f1h = nn::f1_score_from_probs(th.forward(s.data.addr, s.data.pc),
+                                             s.data.labels).f1;
+  EXPECT_GT(f1h, f1e - 0.25);  // log-K encoding costs limited accuracy
+}
+
+}  // namespace
+}  // namespace dart::tabular

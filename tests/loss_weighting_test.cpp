@@ -1,0 +1,78 @@
+// Tests for positive-class weighting in the BCE loss and its automatic
+// resolution from label density — the guard against all-negative collapse
+// on sparse delta bitmaps (mcf-class workloads).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/trainer.hpp"
+
+namespace dart::nn {
+namespace {
+
+TEST(WeightedBce, ReducesToPlainBceAtWeightOne) {
+  Tensor logits = Tensor::randn({32}, 2.0f, 1);
+  Tensor targets({32});
+  for (std::size_t i = 0; i < 32; ++i) targets[i] = i % 4 == 0 ? 1.0f : 0.0f;
+  Tensor d1, d2;
+  const double a = bce_with_logits(logits, targets, d1);
+  const double b = bce_with_logits(logits, targets, d2, 1.0f);
+  EXPECT_DOUBLE_EQ(a, b);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(d1[i], d2[i]);
+}
+
+TEST(WeightedBce, ScalesPositiveGradientsOnly) {
+  Tensor logits({2}), targets({2});
+  logits[0] = 0.0f;  // positive label
+  logits[1] = 0.0f;  // negative label
+  targets[0] = 1.0f;
+  targets[1] = 0.0f;
+  Tensor d1, d4;
+  bce_with_logits(logits, targets, d1, 1.0f);
+  bce_with_logits(logits, targets, d4, 4.0f);
+  EXPECT_NEAR(d4[0], 4.0f * d1[0], 1e-7f);  // positive grad scaled
+  EXPECT_NEAR(d4[1], d1[1], 1e-7f);         // negative grad untouched
+}
+
+TEST(WeightedBce, LossIncreasesWithWeightWhenPositivesWrong) {
+  Tensor logits({1}), targets({1});
+  logits[0] = -3.0f;  // confidently wrong on a positive
+  targets[0] = 1.0f;
+  Tensor d;
+  const double l1 = bce_with_logits(logits, targets, d, 1.0f);
+  const double l8 = bce_with_logits(logits, targets, d, 8.0f);
+  EXPECT_NEAR(l8, 8.0 * l1, 1e-6);
+}
+
+TEST(ResolvePosWeight, ExplicitValueWins) {
+  TrainOptions opt;
+  opt.pos_weight = 3.5f;
+  Dataset ds;
+  ds.labels = Tensor({10, 10});
+  EXPECT_FLOAT_EQ(resolve_pos_weight(opt, ds), 3.5f);
+}
+
+TEST(ResolvePosWeight, AutoScalesWithSparsity) {
+  TrainOptions opt;  // pos_weight = 0 -> auto
+  Dataset dense, sparse;
+  dense.labels = Tensor({10, 10});
+  sparse.labels = Tensor({10, 10});
+  for (std::size_t i = 0; i < 100; ++i) dense.labels[i] = i % 2 ? 1.0f : 0.0f;
+  sparse.labels[0] = 1.0f;  // 1% positive
+  const float w_dense = resolve_pos_weight(opt, dense);
+  const float w_sparse = resolve_pos_weight(opt, sparse);
+  EXPECT_LT(w_dense, w_sparse);
+  EXPECT_NEAR(w_dense, std::sqrt(2.0f), 1e-4f);
+  EXPECT_FLOAT_EQ(w_sparse, 6.0f);  // clamped at 6
+}
+
+TEST(ResolvePosWeight, AllNegativeLabelsFallBackToOne) {
+  TrainOptions opt;
+  Dataset ds;
+  ds.labels = Tensor({4, 4});
+  EXPECT_FLOAT_EQ(resolve_pos_weight(opt, ds), 1.0f);
+}
+
+}  // namespace
+}  // namespace dart::nn

@@ -1,0 +1,263 @@
+// Tests for losses, optimizers, metrics, the dataset container, and the
+// training loops (including knowledge distillation, §VI-D).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dataset.hpp"
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "nn/transformer.hpp"
+
+namespace dart::nn {
+namespace {
+
+TEST(BceLoss, MatchesManualComputation) {
+  Tensor logits({2}), targets({2}), d;
+  logits[0] = 0.0f;
+  logits[1] = 2.0f;
+  targets[0] = 1.0f;
+  targets[1] = 0.0f;
+  const double loss = bce_with_logits(logits, targets, d);
+  const double expected =
+      0.5 * (-std::log(0.5) - std::log(1.0 - 1.0 / (1.0 + std::exp(-2.0))));
+  EXPECT_NEAR(loss, expected, 1e-6);
+  // Gradient: (sigmoid(z) - y) / N.
+  EXPECT_NEAR(d[0], (0.5 - 1.0) / 2.0, 1e-6);
+  EXPECT_NEAR(d[1], (1.0 / (1.0 + std::exp(-2.0))) / 2.0, 1e-6);
+}
+
+TEST(BceLoss, StableForExtremeLogits) {
+  Tensor logits({2}), targets({2}), d;
+  logits[0] = 500.0f;
+  logits[1] = -500.0f;
+  targets[0] = 1.0f;
+  targets[1] = 0.0f;
+  const double loss = bce_with_logits(logits, targets, d);
+  EXPECT_FALSE(std::isnan(loss));
+  EXPECT_NEAR(loss, 0.0, 1e-6);
+}
+
+TEST(MseLoss, ValueAndGradient) {
+  Tensor pred({2}), target({2}), d;
+  pred[0] = 1.0f;
+  pred[1] = 3.0f;
+  target[0] = 0.0f;
+  target[1] = 3.0f;
+  EXPECT_NEAR(mse_loss(pred, target, d), 0.5, 1e-6);
+  EXPECT_NEAR(d[0], 2.0f * 1.0f / 2.0f, 1e-6);
+  EXPECT_NEAR(d[1], 0.0f, 1e-6);
+}
+
+TEST(TSigmoid, TemperatureSoftensProbabilities) {
+  Tensor logits({1});
+  logits[0] = 4.0f;
+  const float hard = t_sigmoid(logits, 1.0f)[0];
+  const float soft = t_sigmoid(logits, 4.0f)[0];
+  EXPECT_GT(hard, soft);
+  EXPECT_GT(soft, 0.5f);  // same side of 0.5
+}
+
+TEST(KdLoss, ZeroWhenStudentMatchesTeacher) {
+  Tensor logits = Tensor::randn({8}, 2.0f, 1);
+  Tensor d;
+  EXPECT_NEAR(kd_loss(logits, logits, 2.0f, d), 0.0, 1e-6);
+  for (std::size_t i = 0; i < d.numel(); ++i) EXPECT_NEAR(d[i], 0.0f, 1e-6f);
+}
+
+TEST(KdLoss, GradientPullsStudentTowardTeacher) {
+  Tensor student({1}), teacher({1}), d;
+  student[0] = -2.0f;
+  teacher[0] = 3.0f;
+  const double loss = kd_loss(student, teacher, 2.0f, d);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(d[0], 0.0f);  // increase student logit to approach teacher
+}
+
+TEST(DistillationLoss, LambdaInterpolates) {
+  Tensor student = Tensor::randn({16}, 1.0f, 2);
+  Tensor teacher = Tensor::randn({16}, 1.0f, 3);
+  Tensor targets({16});
+  for (std::size_t i = 0; i < 16; ++i) targets[i] = i % 2 ? 1.0f : 0.0f;
+  Tensor d_bce, d_kd, d_mix;
+  const double bce = bce_with_logits(student, targets, d_bce);
+  const double kd = kd_loss(student, teacher, 2.0f, d_kd);
+  const double mix = distillation_loss(student, teacher, targets, 2.0f, 0.3f, d_mix);
+  EXPECT_NEAR(mix, 0.3 * kd + 0.7 * bce, 1e-6);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(d_mix[i], 0.3f * d_kd[i] + 0.7f * d_bce[i], 1e-6f);
+  }
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // minimize (w - 3)^2 via explicit gradient descent steps.
+  Param w(Tensor({1}), "w");
+  Sgd sgd({&w}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    sgd.zero_grad();
+    w.grad[0] = 2.0f * (w.value[0] - 3.0f);
+    sgd.step();
+  }
+  EXPECT_NEAR(w.value[0], 3.0f, 1e-3f);
+}
+
+TEST(SgdMomentum, AcceleratesDescent) {
+  Param a(Tensor({1}), "a"), b(Tensor({1}), "b");
+  Sgd plain({&a}, 0.01f);
+  Sgd mom({&b}, 0.01f, 0.9f);
+  for (int i = 0; i < 50; ++i) {
+    plain.zero_grad();
+    a.grad[0] = 2.0f * (a.value[0] - 3.0f);
+    plain.step();
+    mom.zero_grad();
+    b.grad[0] = 2.0f * (b.value[0] - 3.0f);
+    mom.step();
+  }
+  EXPECT_LT(std::fabs(b.value[0] - 3.0f), std::fabs(a.value[0] - 3.0f));
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Param w(Tensor({2}), "w");
+  Adam adam({&w}, 0.05f);
+  for (int i = 0; i < 500; ++i) {
+    adam.zero_grad();
+    w.grad[0] = 2.0f * (w.value[0] - 1.0f);
+    w.grad[1] = 2.0f * (w.value[1] + 2.0f);
+    adam.step();
+  }
+  EXPECT_NEAR(w.value[0], 1.0f, 1e-2f);
+  EXPECT_NEAR(w.value[1], -2.0f, 1e-2f);
+}
+
+TEST(F1, PerfectAndWorstCase) {
+  Tensor probs({4}), targets({4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    targets[i] = i % 2 ? 1.0f : 0.0f;
+    probs[i] = targets[i];
+  }
+  EXPECT_NEAR(f1_score_from_probs(probs, targets).f1, 1.0, 1e-9);
+  for (std::size_t i = 0; i < 4; ++i) probs[i] = 1.0f - targets[i];
+  EXPECT_NEAR(f1_score_from_probs(probs, targets).f1, 0.0, 1e-9);
+}
+
+TEST(F1, CountsMatchManual) {
+  Tensor probs({6}), targets({6});
+  // pred: 1 1 0 0 1 0 ; truth: 1 0 0 1 1 1
+  const float p[] = {0.9f, 0.8f, 0.2f, 0.1f, 0.7f, 0.3f};
+  const float t[] = {1, 0, 0, 1, 1, 1};
+  for (int i = 0; i < 6; ++i) {
+    probs[i] = p[i];
+    targets[i] = t[i];
+  }
+  const F1Result r = f1_score_from_probs(probs, targets);
+  EXPECT_EQ(r.true_pos, 2u);
+  EXPECT_EQ(r.false_pos, 1u);
+  EXPECT_EQ(r.false_neg, 2u);
+  EXPECT_NEAR(r.precision, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(r.recall, 0.5, 1e-9);
+}
+
+TEST(F1, LogitsAndProbsAgree) {
+  Tensor logits = Tensor::randn({40}, 2.0f, 4);
+  Tensor targets({40});
+  for (std::size_t i = 0; i < 40; ++i) targets[i] = i % 3 == 0 ? 1.0f : 0.0f;
+  Tensor probs(logits.shape());
+  for (std::size_t i = 0; i < 40; ++i) probs[i] = 1.0f / (1.0f + std::exp(-logits[i]));
+  EXPECT_NEAR(f1_score_from_logits(logits, targets).f1,
+              f1_score_from_probs(probs, targets).f1, 1e-9);
+}
+
+Dataset make_toy_dataset(std::size_t n, std::size_t t, std::size_t s, std::size_t out,
+                         std::uint64_t seed) {
+  Dataset ds;
+  ds.addr = Tensor::randn({n, t, s}, 0.5f, seed);
+  ds.pc = Tensor::randn({n, t, s}, 0.5f, seed + 1);
+  ds.labels = Tensor({n, out});
+  // Learnable rule: label j fires when mean of addr window is above a
+  // per-label threshold.
+  for (std::size_t i = 0; i < n; ++i) {
+    double mean = 0.0;
+    for (std::size_t k = 0; k < t * s; ++k) mean += ds.addr[i * t * s + k];
+    mean /= static_cast<double>(t * s);
+    for (std::size_t j = 0; j < out; ++j) {
+      ds.labels.at(i, j) = mean > (static_cast<double>(j) / out - 0.5) ? 1.0f : 0.0f;
+    }
+  }
+  return ds;
+}
+
+TEST(Dataset, SliceAndShuffleKeepRowsAligned) {
+  Dataset ds = make_toy_dataset(20, 2, 3, 4, 5);
+  const float probe = ds.addr[7 * 6 + 1];
+  Dataset s = ds.slice(7, 9);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.addr[1], probe);
+  Dataset copy = ds;
+  copy.shuffle(3);
+  // Row multiset preserved: find the original row 7 somewhere.
+  bool found = false;
+  for (std::size_t i = 0; i < copy.size(); ++i) {
+    if (copy.addr[i * 6 + 1] == probe) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(copy.size(), ds.size());
+}
+
+TEST(Dataset, SplitFractions) {
+  Dataset ds = make_toy_dataset(10, 2, 3, 4, 6);
+  auto [train, test] = ds.split(0.7);
+  EXPECT_EQ(train.size(), 7u);
+  EXPECT_EQ(test.size(), 3u);
+}
+
+TEST(Training, BceReducesLossAndLearnsToyRule) {
+  ModelConfig cfg;
+  cfg.seq_len = 2;
+  cfg.addr_dim = 3;
+  cfg.pc_dim = 3;
+  cfg.dim = 8;
+  cfg.ffn_dim = 16;
+  cfg.out_dim = 4;
+  cfg.heads = 2;
+  cfg.layers = 1;
+  AddressPredictor model(cfg, 11);
+  Dataset ds = make_toy_dataset(400, 2, 3, 4, 7);
+  TrainOptions opt;
+  opt.epochs = 1;
+  opt.batch_size = 32;
+  const double first = train_bce(model, ds, opt);
+  opt.epochs = 10;
+  const double last = train_bce(model, ds, opt);
+  EXPECT_LT(last, first);
+  const F1Result f1 = evaluate_f1(model, ds);
+  EXPECT_GT(f1.f1, 0.8);
+}
+
+TEST(Training, DistillationRunsAndStudentLearns) {
+  ModelConfig tcfg;
+  tcfg.seq_len = 2;
+  tcfg.addr_dim = 3;
+  tcfg.pc_dim = 3;
+  tcfg.dim = 16;
+  tcfg.ffn_dim = 32;
+  tcfg.out_dim = 4;
+  tcfg.heads = 2;
+  tcfg.layers = 1;
+  ModelConfig scfg = tcfg;
+  scfg.dim = 8;
+  scfg.ffn_dim = 16;
+  Dataset ds = make_toy_dataset(400, 2, 3, 4, 8);
+  AddressPredictor teacher(tcfg, 21);
+  TrainOptions opt;
+  opt.epochs = 8;
+  train_bce(teacher, ds, opt);
+  AddressPredictor student(scfg, 22);
+  KdOptions kd;
+  train_distill(student, teacher, ds, opt, kd);
+  EXPECT_GT(evaluate_f1(student, ds).f1, 0.7);
+}
+
+}  // namespace
+}  // namespace dart::nn

@@ -1,0 +1,257 @@
+// Tests for the prefetcher implementations: BO offset learning, ISB
+// temporal streams, stride detection, and the NN adapter mechanics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/trainer.hpp"
+#include "prefetch/nn_prefetchers.hpp"
+#include "prefetch/rule_based.hpp"
+#include "sim/simulator.hpp"
+#include "tabular/tabularizer.hpp"
+#include "trace/generators.hpp"
+
+namespace dart::prefetch {
+namespace {
+
+TEST(NextLine, EmitsSequentialCandidates) {
+  NextLinePrefetcher pf(3);
+  std::vector<std::uint64_t> out;
+  pf.on_access(100, 0, false, 0, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 101u);
+  EXPECT_EQ(out[2], 103u);
+}
+
+TEST(Stride, LearnsPerPcStrideAfterConfidence) {
+  StridePrefetcher pf(64, 2);
+  std::vector<std::uint64_t> out;
+  // Same PC, stride 3: needs three repeats to reach confidence.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    out.clear();
+    pf.on_access(100 + i * 3, 0x40, false, 0, out);
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 109u + 3u);
+  EXPECT_EQ(out[1], 109u + 6u);
+}
+
+TEST(Stride, DistinctPcsTrackIndependently) {
+  StridePrefetcher pf(64, 1);
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    out.clear();
+    pf.on_access(i * 2, 0x40, false, 0, out);      // stride 2 on PC A
+    std::vector<std::uint64_t> out_b;
+    pf.on_access(1000 + i * 5, 0x44, false, 0, out_b);  // stride 5 on PC B
+    if (i == 4) {
+      ASSERT_EQ(out.size(), 1u);
+      EXPECT_EQ(out[0], 8u + 2u);
+      ASSERT_EQ(out_b.size(), 1u);
+      EXPECT_EQ(out_b[0], 1020u + 5u);
+    }
+  }
+}
+
+TEST(BestOffset, LearnsDominantOffsetViaSimulation) {
+  // Feed a stride-6 all-miss stream through the simulator so BO sees fills;
+  // it must converge on an offset that covers the stream.
+  sim::SimConfig cfg;
+  sim::Simulator sim(cfg);
+  trace::MemoryTrace t;
+  for (std::size_t i = 0; i < 60000; ++i) {
+    t.push_back({(i + 1) * 4, 0x400, i * 6 * 64 * 300, false});  // huge stride -> miss
+  }
+  // Use a plain stride-6 trace with large page jumps is overkill; use stride 6 blocks.
+  t.clear();
+  for (std::size_t i = 0; i < 60000; ++i) {
+    t.push_back({(i + 1) * 64, 0x400, (i * 6) * 64, false});
+  }
+  BestOffsetPrefetcher bo;
+  const sim::SimStats stats = sim.run(t, &bo);
+  EXPECT_GT(stats.accuracy(), 0.8);
+  EXPECT_GT(stats.coverage(), 0.3);
+  EXPECT_EQ(bo.current_offset() % 6, 0);  // a multiple of the true stride
+}
+
+TEST(BestOffset, StorageIsTableIxMagnitude) {
+  BestOffsetPrefetcher bo;
+  EXPECT_GT(bo.storage_bytes(), 1000u);
+  EXPECT_LT(bo.storage_bytes(), 8192u);  // ~4KB in Table IX
+}
+
+TEST(Isb, LearnsTemporalPairOnRepeat) {
+  IsbPrefetcher::Options opt;
+  opt.degree = 1;
+  IsbPrefetcher isb(opt);
+  std::vector<std::uint64_t> out;
+  // Correlated irregular sequence A->B->C repeated under one PC.
+  const std::uint64_t seq[] = {1000, 7777, 4242};
+  for (int rep = 0; rep < 3; ++rep) {
+    for (std::uint64_t b : seq) {
+      out.clear();
+      isb.on_access(b, 0x88, false, 0, out);
+    }
+  }
+  // Now accessing 1000 should predict its learned successor 7777.
+  out.clear();
+  isb.on_access(1000, 0x88, false, 0, out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0], 7777u);
+}
+
+TEST(Isb, CapacityEvictionKeepsMapsBounded) {
+  IsbPrefetcher::Options opt;
+  opt.max_mappings = 64;
+  IsbPrefetcher isb(opt);
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    out.clear();
+    isb.on_access(i * 17, 0x88, false, 0, out);
+  }
+  SUCCEED();  // bounded structures; would OOM/slow otherwise
+}
+
+// ------------------------------------------------------------- NN adapters
+
+/// Deterministic fake predictor: always fires delta +1 with p=0.9.
+class FakeTabular {
+ public:
+  static std::shared_ptr<tabular::TabularPredictor> make() { return nullptr; }
+};
+
+/// Adapter mechanics are tested through DartPrefetcher with a predictor
+/// built from a tiny trained model (integration-lite).
+class AdapterFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kT = 4;
+
+  void SetUp() override {
+    nn::ModelConfig arch;
+    arch.seq_len = kT;
+    arch.addr_dim = 4;
+    arch.pc_dim = 4;
+    arch.dim = 8;
+    arch.ffn_dim = 16;
+    arch.out_dim = 64;
+    arch.heads = 2;
+    arch.layers = 1;
+    model_ = std::make_unique<nn::AddressPredictor>(arch, 5);
+
+    // Train on a +1-delta sequential pattern so predictions are meaningful.
+    trace::MemoryTrace t;
+    for (std::uint64_t i = 0; i < 600; ++i) t.push_back({i + 1, 0x10, i * 64, false});
+    prep_.history = kT;
+    prep_.addr_segments = 4;
+    prep_.pc_segments = 4;
+    prep_.bitmap_size = 64;
+    prep_.lookforward = 16;
+    data_ = trace::make_dataset(t, prep_);
+    nn::TrainOptions opt;
+    opt.epochs = 10;
+    nn::train_bce(*model_, data_, opt);
+
+    tabular::TabularizeOptions tab;
+    tab.tables = tabular::TableConfig::uniform(16, 2);
+    tab.max_train_samples = 256;
+    predictor_ = std::make_shared<tabular::TabularPredictor>(
+        tabular::tabularize(*model_, data_.addr, data_.pc, tab));
+  }
+
+  NnAdapterOptions adapter_opts(std::size_t latency = 0) const {
+    NnAdapterOptions o;
+    o.prep = prep_;
+    o.latency = latency;
+    o.degree = 4;
+    return o;
+  }
+
+  trace::PreprocessOptions prep_;
+  nn::Dataset data_;
+  std::unique_ptr<nn::AddressPredictor> model_;
+  std::shared_ptr<tabular::TabularPredictor> predictor_;
+};
+
+TEST_F(AdapterFixture, NoPredictionsBeforeHistoryWarmup) {
+  DartPrefetcher pf(predictor_, adapter_opts());
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i + 1 < kT; ++i) {
+    out.clear();
+    pf.on_access(100 + i, 0x10, false, i, out);
+    EXPECT_TRUE(out.empty()) << "predicted before history filled";
+  }
+}
+
+TEST_F(AdapterFixture, PredictsForwardDeltaOnSequentialStream) {
+  DartPrefetcher pf(predictor_, adapter_opts());
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    out.clear();
+    pf.on_access(2000 + i, 0x10, false, i * 100, out);
+  }
+  ASSERT_FALSE(out.empty());
+  // Every prediction must be a forward delta within the trained
+  // look-forward window (+1 .. +16) relative to the last access (2049).
+  for (std::uint64_t cand : out) {
+    EXPECT_GT(cand, 2049u);
+    EXPECT_LE(cand, 2049u + 16u);
+  }
+}
+
+TEST_F(AdapterFixture, DegreeCapsPredictionCount) {
+  NnAdapterOptions o = adapter_opts();
+  o.degree = 2;
+  o.threshold = 0.0f;  // fire everything
+  DartPrefetcher pf(predictor_, o);
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    out.clear();
+    pf.on_access(3000 + i, 0x10, false, i * 100, out);
+  }
+  EXPECT_LE(out.size(), 2u);
+}
+
+TEST_F(AdapterFixture, InitiationIntervalThrottlesTriggers) {
+  // A non-pipelined predictor allows one inference per interval.
+  NnAdapterOptions o = adapter_opts(/*latency=*/1000);
+  o.initiation_interval = 1000;
+  DartPrefetcher pf(predictor_, o);
+  std::size_t predictions = 0;
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    out.clear();
+    pf.on_access(4000 + i, 0x10, false, i * 10, out);  // 10 cycles apart
+    predictions += out.empty() ? 0 : 1;
+  }
+  // 100 accesses over ~1000 cycles with interval 1000 -> very few triggers.
+  EXPECT_LE(predictions, 3u);
+  EXPECT_GE(predictions, 1u);
+}
+
+TEST_F(AdapterFixture, AttentionAdapterMatchesModelStorage) {
+  auto shared = std::shared_ptr<nn::AddressPredictor>(model_.get(), [](auto*) {});
+  AttentionPrefetcher pf(shared, adapter_opts(4500), "TransFetch");
+  EXPECT_EQ(pf.storage_bytes(), model_->num_params() * sizeof(float));
+  EXPECT_EQ(pf.prediction_latency(), 4500u);
+  EXPECT_EQ(pf.name(), "TransFetch");
+}
+
+TEST_F(AdapterFixture, DartEndToEndInSimulatorBeatsNoPrefetcher) {
+  sim::SimConfig cfg;
+  sim::Simulator sim(cfg);
+  // Sequential stream matching the trained pattern, with enough compute
+  // between accesses (instr gap 64 -> ~16 cycles/access) that a 97-cycle
+  // predictor can be timely.
+  trace::MemoryTrace t;
+  for (std::uint64_t i = 0; i < 30000; ++i) {
+    t.push_back({(i + 1) * 64, 0x10, i * 64, false});
+  }
+  const sim::SimStats base = sim.run(t);
+  DartPrefetcher pf(predictor_, adapter_opts(/*latency=*/97));
+  const sim::SimStats with_pf = sim.run(t, &pf);
+  EXPECT_GT(with_pf.ipc(), base.ipc());
+  EXPECT_GT(with_pf.accuracy(), 0.5);
+}
+
+}  // namespace
+}  // namespace dart::prefetch

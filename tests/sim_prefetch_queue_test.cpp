@@ -1,0 +1,129 @@
+// Additional simulator properties: prefetch queue limits, degree capping,
+// duplicate suppression, and prefetch-fill eviction behavior.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace dart::sim {
+namespace {
+
+trace::MemoryTrace miss_stream(std::size_t n, std::uint64_t gap_instr = 16) {
+  trace::MemoryTrace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back({(i + 1) * gap_instr, 0x400, (i << 14) * 64, false});
+  }
+  return t;
+}
+
+/// Emits a fixed candidate list on every access.
+class FloodPrefetcher final : public Prefetcher {
+ public:
+  explicit FloodPrefetcher(std::size_t count) : count_(count) {}
+  void on_access(std::uint64_t block, std::uint64_t, bool, std::uint64_t,
+                 std::vector<std::uint64_t>& out) override {
+    for (std::size_t i = 1; i <= count_; ++i) out.push_back(block + (i << 20));
+  }
+  std::size_t storage_bytes() const override { return 0; }
+  std::string name() const override { return "Flood"; }
+
+ private:
+  std::size_t count_;
+};
+
+TEST(SimulatorQueue, DegreeCapBoundsIssuesPerTrigger) {
+  SimConfig cfg;
+  cfg.max_degree = 4;
+  cfg.prefetch_queue = 1u << 20;  // effectively unlimited
+  Simulator sim(cfg);
+  FloodPrefetcher flood(64);
+  const auto t = miss_stream(100);
+  const SimStats s = sim.run(t, &flood);
+  EXPECT_LE(s.pf_issued, 4u * s.llc_accesses);
+  EXPECT_GT(s.pf_dropped, 0u);
+}
+
+TEST(SimulatorQueue, QueueLimitDropsExcessPrefetches) {
+  SimConfig small = {};
+  small.prefetch_queue = 2;
+  SimConfig big = {};
+  big.prefetch_queue = 1024;
+  FloodPrefetcher flood_a(16), flood_b(16);
+  const auto t = miss_stream(500);
+  const SimStats s_small = Simulator(small).run(t, &flood_a);
+  const SimStats s_big = Simulator(big).run(t, &flood_b);
+  EXPECT_LT(s_small.pf_issued, s_big.pf_issued);
+  EXPECT_GT(s_small.pf_dropped, s_big.pf_dropped);
+}
+
+TEST(SimulatorQueue, DuplicateCandidatesSuppressed) {
+  // A prefetcher that keeps asking for the same line must only issue once
+  // while it is in flight / resident.
+  class Repeater final : public Prefetcher {
+   public:
+    void on_access(std::uint64_t, std::uint64_t, bool, std::uint64_t,
+                   std::vector<std::uint64_t>& out) override {
+      out.push_back(0xABCDE);
+    }
+    std::size_t storage_bytes() const override { return 0; }
+    std::string name() const override { return "Repeater"; }
+  };
+  SimConfig cfg;
+  Simulator sim(cfg);
+  Repeater rep;
+  const auto t = miss_stream(300);
+  const SimStats s = sim.run(t, &rep);
+  EXPECT_LE(s.pf_issued, 2u);  // once in flight, later asks are duplicates
+  EXPECT_GT(s.pf_dropped, 200u);
+}
+
+TEST(SimulatorQueue, AccuracyCountsEachPrefetchedLineOnce) {
+  // A correct next-line prefetcher on a repeat-free stream: useful count
+  // can never exceed issued count.
+  class NextBlock final : public Prefetcher {
+   public:
+    void on_access(std::uint64_t block, std::uint64_t, bool, std::uint64_t,
+                   std::vector<std::uint64_t>& out) override {
+      out.push_back(block + (1ULL << 14));
+    }
+    std::size_t storage_bytes() const override { return 0; }
+    std::string name() const override { return "NextBlock"; }
+  };
+  SimConfig cfg;
+  Simulator sim(cfg);
+  NextBlock nb;
+  const SimStats s = sim.run(miss_stream(2000, 64), &nb);
+  EXPECT_LE(s.pf_useful + s.pf_late, s.pf_issued);
+  EXPECT_GT(s.accuracy(), 0.5);
+}
+
+TEST(SimulatorQueue, PrefetchOnlyFillsLlcNotL1) {
+  // After a prefetch fill, a demand access must still count as an LLC
+  // access (the line is not in L1/L2), and hit in the LLC.
+  SimConfig cfg;
+  Simulator sim(cfg);
+  class OneShot final : public Prefetcher {
+   public:
+    void on_access(std::uint64_t, std::uint64_t, bool, std::uint64_t,
+                   std::vector<std::uint64_t>& out) override {
+      if (!fired_) {
+        out.push_back(42);
+        fired_ = true;
+      }
+    }
+    std::size_t storage_bytes() const override { return 0; }
+    std::string name() const override { return "OneShot"; }
+
+   private:
+    bool fired_ = false;
+  };
+  trace::MemoryTrace t;
+  t.push_back({64, 0x1, 99 * 64, false});          // trigger
+  t.push_back({1u << 20, 0x1, 42 * 64, false});    // much later: hits LLC
+  OneShot pf;
+  const SimStats s = sim.run(t, &pf);
+  EXPECT_EQ(s.llc_accesses, 2u);
+  EXPECT_EQ(s.pf_useful, 1u);
+}
+
+}  // namespace
+}  // namespace dart::sim

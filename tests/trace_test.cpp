@@ -1,0 +1,181 @@
+// Tests for the trace substrate: generators (Table IV shape properties),
+// address segmentation, and delta-bitmap labeling (§VI-A).
+#include <gtest/gtest.h>
+
+#include "trace/generators.hpp"
+#include "trace/preprocess.hpp"
+
+namespace dart::trace {
+namespace {
+
+TEST(AppNames, RoundTrip) {
+  for (App app : all_apps()) {
+    EXPECT_EQ(app_from_name(app_name(app)), app);
+  }
+  EXPECT_EQ(app_from_name("bwaves"), App::kBwaves);
+  EXPECT_EQ(app_from_name("605.mcf"), App::kMcf);
+  EXPECT_THROW(app_from_name("no-such-app"), std::invalid_argument);
+}
+
+class GeneratorApps : public ::testing::TestWithParam<App> {};
+
+TEST_P(GeneratorApps, ProducesRequestedLengthDeterministically) {
+  const App app = GetParam();
+  MemoryTrace a = generate(app, 5000, 42);
+  MemoryTrace b = generate(app, 5000, 42);
+  MemoryTrace c = generate(app, 5000, 43);
+  ASSERT_EQ(a.size(), 5000u);
+  ASSERT_EQ(b.size(), 5000u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a[i].addr, b[i].addr);
+    EXPECT_EQ(a[i].pc, b[i].pc);
+  }
+  bool diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i].addr != c[i].addr;
+  EXPECT_TRUE(diff);
+}
+
+TEST_P(GeneratorApps, InstructionIdsStrictlyIncrease) {
+  MemoryTrace t = generate(GetParam(), 2000, 7);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GT(t[i].instr_id, t[i - 1].instr_id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, GeneratorApps, ::testing::ValuesIn(all_apps()),
+                         [](const ::testing::TestParamInfo<App>& info) {
+                           std::string n = app_name(info.param);
+                           for (auto& ch : n) {
+                             if (ch == '.') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(TraceStats, ComputedOnKnownSequence) {
+  MemoryTrace t;
+  // Blocks: 0, 1, 2, 0 -> deltas {1, 1, -2} -> 2 unique.
+  for (std::uint64_t b : {0ULL, 1ULL, 2ULL, 0ULL}) {
+    t.push_back({t.size() + 1, 0x400, b * 64, false});
+  }
+  const TraceStats s = compute_stats(t);
+  EXPECT_EQ(s.accesses, 4u);
+  EXPECT_EQ(s.unique_blocks, 3u);
+  EXPECT_EQ(s.unique_pages, 1u);
+  EXPECT_EQ(s.unique_deltas, 2u);
+}
+
+TEST(TraceStats, Table4OrderingProperties) {
+  // The qualitative relations the paper's analysis rests on (§VII-B).
+  const std::size_t n = 60000;
+  const auto mcf = compute_stats(generate(App::kMcf, n, 1));
+  const auto lbm = compute_stats(generate(App::kLbm, n, 1));
+  const auto libq = compute_stats(generate(App::kLibquantum, n, 1));
+  const auto milc = compute_stats(generate(App::kMilc, n, 1));
+  const auto leslie = compute_stats(generate(App::kLeslie3d, n, 1));
+  const auto gcc = compute_stats(generate(App::kGcc, n, 1));
+
+  // mcf's pointer chasing dominates everyone's delta count.
+  EXPECT_GT(mcf.unique_deltas, 10u * gcc.unique_deltas);
+  EXPECT_GT(mcf.unique_deltas, 100u * lbm.unique_deltas);
+  // libquantum and lbm are near-regular: tiny delta sets.
+  EXPECT_LT(libq.unique_deltas, 64u);
+  EXPECT_LT(lbm.unique_deltas, 256u);
+  // milc sweeps far more pages than leslie3d.
+  EXPECT_GT(milc.unique_pages, 4u * leslie.unique_pages);
+}
+
+TEST(SegmentValue, SplitsBitsLsbFirstNormalized) {
+  float out[3];
+  // value = 0b000011_000010_000001 (segments of 6 bits).
+  const std::uint64_t v = 1 | (2 << 6) | (3ULL << 12);
+  segment_value(v, 3, 6, out);
+  EXPECT_FLOAT_EQ(out[0], 1.0f / 63.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f / 63.0f);
+  EXPECT_FLOAT_EQ(out[2], 3.0f / 63.0f);
+}
+
+TEST(SegmentValue, ValuesAlwaysInUnitInterval) {
+  float out[8];
+  segment_value(~0ULL, 8, 6, out);
+  for (float v : out) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+class DeltaBits : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DeltaBits, RoundTripThroughBitmap) {
+  const std::int64_t delta = GetParam();
+  const int bit = delta_to_bit(delta, 128);
+  if (delta == 0 || delta < -64 || delta >= 64) {
+    EXPECT_EQ(bit, -1);
+  } else {
+    ASSERT_GE(bit, 0);
+    EXPECT_EQ(bit_to_delta(static_cast<std::size_t>(bit), 128), delta);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaBits,
+                         ::testing::Values(-100, -64, -63, -1, 0, 1, 32, 63, 64, 100));
+
+TEST(MakeDataset, LabelsEncodeFutureDeltas) {
+  // Craft a block-stride-2 trace; every label must be exactly {+2,+4,...}.
+  MemoryTrace t;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    t.push_back({i + 1, 0x400, i * 2 * 64, false});
+  }
+  PreprocessOptions opt;
+  opt.history = 4;
+  opt.addr_segments = 4;
+  opt.pc_segments = 4;
+  opt.bitmap_size = 32;
+  opt.lookforward = 3;
+  nn::Dataset ds = make_dataset(t, opt);
+  ASSERT_GT(ds.size(), 0u);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (std::size_t j = 0; j < opt.bitmap_size; ++j) {
+      const std::int64_t delta = bit_to_delta(j, opt.bitmap_size);
+      const bool expected = delta == 2 || delta == 4 || delta == 6;
+      EXPECT_EQ(ds.labels.at(i, j) > 0.5f, expected) << "delta " << delta;
+    }
+  }
+}
+
+TEST(MakeDataset, ShapesAndMaxSamples) {
+  MemoryTrace t = generate(App::kGcc, 4000, 3);
+  PreprocessOptions opt;
+  opt.history = 8;
+  opt.max_samples = 100;
+  nn::Dataset ds = make_dataset(t, opt);
+  EXPECT_EQ(ds.size(), 100u);
+  EXPECT_EQ(ds.addr.dim(1), 8u);
+  EXPECT_EQ(ds.addr.dim(2), opt.addr_segments);
+  EXPECT_EQ(ds.labels.dim(1), opt.bitmap_size);
+}
+
+TEST(MakeDataset, RejectsTooShortTrace) {
+  MemoryTrace t;
+  for (std::uint64_t i = 0; i < 5; ++i) t.push_back({i + 1, 0, i * 64, false});
+  PreprocessOptions opt;
+  EXPECT_THROW(make_dataset(t, opt), std::invalid_argument);
+}
+
+TEST(MakeDataset, SequentialTraceGivesPlusOneLabels) {
+  MemoryTrace t;
+  for (std::uint64_t i = 0; i < 100; ++i) t.push_back({i + 1, 0x10, i * 64, false});
+  PreprocessOptions opt;
+  opt.history = 4;
+  opt.lookforward = 1;
+  opt.bitmap_size = 16;
+  nn::Dataset ds = make_dataset(t, opt);
+  const int expect_bit = delta_to_bit(1, 16);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(ds.labels.at(i, j) > 0.5f, static_cast<int>(j) == expect_bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dart::trace
