@@ -8,24 +8,23 @@
 
 #include <cstdio>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/env.hpp"
 #include "common/table_printer.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "core/experiment.hpp"
 #include "core/pipeline.hpp"
 #include "trace/generators.hpp"
 
 namespace dart::bench {
 
-/// Apps to evaluate: all eight by default, or the DART_APPS subset.
+/// Apps to evaluate: all eight by default, or the DART_APPS subset
+/// (parsed once, by core::ExperimentSpec::bench_defaults).
 inline std::vector<trace::App> bench_apps() {
-  const auto names = common::env_list("DART_APPS");
-  if (names.empty()) return trace::all_apps();
-  std::vector<trace::App> apps;
-  for (const auto& n : names) apps.push_back(trace::app_from_name(n));
-  return apps;
+  const std::vector<trace::App> apps = core::ExperimentSpec::bench_defaults().apps;
+  return apps.empty() ? trace::all_apps() : apps;
 }
 
 /// Short column label, e.g. "410.bwav".
@@ -34,16 +33,12 @@ inline std::string short_name(trace::App app) {
   return n.size() > 8 ? n.substr(0, 8) : n;
 }
 
-/// Runs `fn(app, index)` for every app on its own thread (per-app pipelines
-/// are independent; inner compute shares the global pool).
+/// Runs `fn(app, index)` for every app on the shared thread pool (per-app
+/// pipelines are independent; inner compute inlines inside pool workers).
 template <typename Fn>
 void for_each_app_parallel(const std::vector<trace::App>& apps, Fn&& fn) {
-  std::vector<std::thread> threads;
-  threads.reserve(apps.size());
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    threads.emplace_back([&, i] { fn(apps[i], i); });
-  }
-  for (auto& t : threads) t.join();
+  common::parallel_for_each(
+      apps.size(), [&](std::size_t i) { fn(apps[i], i); }, /*min_grain=*/1);
 }
 
 /// Prints and CSV-mirrors a finished table.

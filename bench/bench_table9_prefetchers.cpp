@@ -1,9 +1,11 @@
 // Table IX — configurations of all evaluated prefetchers: storage, latency,
-// table/ML mechanism. Rule-based entries are instantiated to report their
-// real structure sizes; NN entries report the canonical model sizes.
+// table/ML mechanism. Rule-based entries are constructed through the
+// prefetcher registry to report their real structure sizes; NN entries
+// report the canonical model sizes with the shared Table IX latency
+// constants from core/configs.hpp.
 #include "bench_common.hpp"
 #include "core/configs.hpp"
-#include "prefetch/rule_based.hpp"
+#include "sim/registry.hpp"
 #include "tabular/complexity.hpp"
 
 using namespace dart;
@@ -12,12 +14,12 @@ int main() {
   common::TablePrinter t("Table IX: configurations of prefetchers");
   t.set_header({"Prefetcher", "Storage", "Latency(cyc)", "Table", "ML", "Mechanism"});
 
-  prefetch::BestOffsetPrefetcher bo;
-  prefetch::IsbPrefetcher isb;
-  t.add_row({"BO", common::TablePrinter::fmt_bytes(bo.storage_bytes()),
-             std::to_string(bo.prediction_latency()), "yes", "no", "Spatial locality"});
-  t.add_row({"ISB", common::TablePrinter::fmt_bytes(isb.storage_bytes()),
-             std::to_string(isb.prediction_latency()), "yes", "no", "Temporal locality"});
+  const auto bo = sim::make_prefetcher("bo");
+  const auto isb = sim::make_prefetcher("isb");
+  t.add_row({bo->name(), common::TablePrinter::fmt_bytes(bo->storage_bytes()),
+             std::to_string(bo->prediction_latency()), "yes", "no", "Spatial locality"});
+  t.add_row({isb->name(), common::TablePrinter::fmt_bytes(isb->storage_bytes()),
+             std::to_string(isb->prediction_latency()), "yes", "no", "Temporal locality"});
 
   // NN baselines: the TransFetch-like model is the pipeline teacher; the
   // Voyager-like model is the LSTM predictor (sizes from the architectures).
@@ -26,9 +28,11 @@ int main() {
   const auto prep = core::default_preprocess();
   nn::LstmPredictor voy(prep.addr_segments, prep.pc_segments, 64, prep.bitmap_size, 2);
   t.add_row({"TransFetch", common::TablePrinter::fmt_bytes(tf_model.num_params() * 4.0),
-             "4.5K", "no", "yes", "Attention"});
-  t.add_row({"Voyager", common::TablePrinter::fmt_bytes(voy.num_params() * 4.0), "27.7K",
-             "no", "yes", "LSTM"});
+             common::TablePrinter::fmt_count(core::kTransFetchLatencyCycles), "no", "yes",
+             "Attention"});
+  t.add_row({"Voyager", common::TablePrinter::fmt_bytes(voy.num_params() * 4.0),
+             common::TablePrinter::fmt_count(core::kVoyagerLatencyCycles), "no", "yes",
+             "LSTM"});
   t.add_row({"TransFetch-I", "-", "0", "no", "yes", "Attention (Ideal)"});
   t.add_row({"Voyager-I", "-", "0", "no", "yes", "LSTM (Ideal)"});
 

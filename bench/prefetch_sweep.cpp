@@ -1,7 +1,5 @@
 #include "prefetch_sweep.hpp"
 
-#include <fstream>
-#include <map>
 #include <sstream>
 
 #include "bench_common.hpp"
@@ -12,97 +10,46 @@ namespace {
 
 constexpr const char* kCachePath = "prefetch_sweep_cache.csv";
 
-std::string current_tag(const core::PrefetchEvalOptions& opt,
-                        const std::vector<trace::App>& apps) {
+std::string current_tag(const core::ExperimentSpec& spec) {
   std::ostringstream os;
-  os << "#tag instr=" << opt.pipeline.raw_accesses
-     << " samples=" << opt.pipeline.prep.max_samples
-     << " epochs=" << opt.pipeline.teacher_train.epochs << " apps=";
-  for (trace::App a : apps) os << trace::app_name(a) << ';';
+  os << "#tag instr=" << spec.pipeline.raw_accesses
+     << " samples=" << spec.pipeline.prep.max_samples
+     << " epochs=" << spec.pipeline.teacher_train.epochs << " apps=";
+  for (trace::App a : spec.apps.empty() ? trace::all_apps() : spec.apps) {
+    os << trace::app_name(a) << ';';
+  }
   os << " pfs=";
-  for (const auto& p : opt.prefetchers) os << p << ';';
+  for (const auto& p : spec.prefetchers) os << p << ';';
   return os.str();
-}
-
-core::PrefetchEvalOptions sweep_options() {
-  core::PrefetchEvalOptions opt;
-  opt.pipeline = core::PipelineOptions::bench_defaults();
-  return opt;
 }
 
 }  // namespace
 
-std::vector<core::PrefetchCell> cached_prefetch_sweep() {
-  const auto apps = bench_apps();
-  core::PrefetchEvalOptions opt = sweep_options();
-  const std::string tag = current_tag(opt, apps);
+core::ExperimentResult cached_prefetch_sweep() {
+  core::ExperimentSpec spec = core::ExperimentSpec::bench_defaults();
+  if (spec.apps.empty()) spec.apps = bench_apps();
+  const std::string tag = current_tag(spec);
 
-  // Try the cache.
-  {
-    std::ifstream in(kCachePath);
-    std::string line;
-    if (in && std::getline(in, line) && line == tag) {
-      std::vector<core::PrefetchCell> cells;
-      std::getline(in, line);  // header
-      while (std::getline(in, line)) {
-        std::stringstream ss(line);
-        core::PrefetchCell c;
-        std::string field;
-        std::getline(ss, c.prefetcher, ',');
-        std::getline(ss, c.app, ',');
-        auto next_d = [&]() {
-          std::getline(ss, field, ',');
-          return std::stod(field);
-        };
-        c.baseline_ipc = next_d();
-        c.ipc_improvement = next_d();
-        c.stats.pf_issued = static_cast<std::uint64_t>(next_d());
-        c.stats.pf_useful = static_cast<std::uint64_t>(next_d());
-        c.stats.pf_late = static_cast<std::uint64_t>(next_d());
-        c.stats.llc_demand_misses = static_cast<std::uint64_t>(next_d());
-        c.stats.instructions = static_cast<std::uint64_t>(next_d());
-        c.stats.cycles = static_cast<std::uint64_t>(next_d());
-        c.storage_bytes = static_cast<std::size_t>(next_d());
-        c.latency_cycles = static_cast<std::size_t>(next_d());
-        cells.push_back(c);
-      }
-      if (!cells.empty()) {
-        std::printf("[cache] loaded %zu sweep cells from %s\n", cells.size(), kCachePath);
-        return cells;
-      }
-    }
+  core::ExperimentResult result;
+  if (core::ExperimentResult::read_csv(kCachePath, tag, &result)) {
+    std::printf("[cache] loaded %zu sweep cells from %s\n", result.cells.size(), kCachePath);
+    return result;
   }
 
   common::Stopwatch watch;
-  std::printf("running prefetcher sweep (%zu apps x %zu prefetchers)...\n", apps.size(),
-              opt.prefetchers.size());
-  auto cells = core::evaluate_prefetchers(apps, opt);
+  std::printf("running prefetcher sweep (%zu apps x %zu prefetchers)...\n", spec.apps.size(),
+              spec.prefetchers.size());
+  result = core::ExperimentRunner(spec).run();
   std::printf("sweep done in %.1f s\n", watch.elapsed_s());
-
-  std::ofstream out(kCachePath);
-  out << tag << '\n'
-      << "prefetcher,app,baseline_ipc,ipc_improvement,issued,useful,late,misses,"
-         "instructions,cycles,storage,latency\n";
-  for (const auto& c : cells) {
-    out << c.prefetcher << ',' << c.app << ',' << c.baseline_ipc << ',' << c.ipc_improvement
-        << ',' << c.stats.pf_issued << ',' << c.stats.pf_useful << ',' << c.stats.pf_late
-        << ',' << c.stats.llc_demand_misses << ',' << c.stats.instructions << ','
-        << c.stats.cycles << ',' << c.storage_bytes << ',' << c.latency_cycles << '\n';
-  }
-  return cells;
+  result.write_csv(kCachePath, tag);
+  return result;
 }
 
-void print_metric_table(const std::vector<core::PrefetchCell>& cells, const std::string& metric,
+void print_metric_table(const core::ExperimentResult& result, const std::string& metric,
                         const std::string& title, const std::string& csv_name) {
-  // Collect apps and prefetchers in first-seen order.
-  std::vector<std::string> apps, pfs;
-  for (const auto& c : cells) {
-    if (std::find(apps.begin(), apps.end(), c.app) == apps.end()) apps.push_back(c.app);
-    if (std::find(pfs.begin(), pfs.end(), c.prefetcher) == pfs.end()) {
-      pfs.push_back(c.prefetcher);
-    }
-  }
-  auto value_of = [&](const core::PrefetchCell& c) {
+  const std::vector<std::string> apps = result.apps();
+  const std::vector<std::string> pfs = result.prefetchers();
+  auto value_of = [&](const core::ExperimentCell& c) {
     if (metric == "accuracy") return c.stats.accuracy();
     if (metric == "coverage") return c.stats.coverage();
     return c.ipc_improvement;
@@ -116,20 +63,13 @@ void print_metric_table(const std::vector<core::PrefetchCell>& cells, const std:
   for (const auto& pf : pfs) {
     std::vector<std::string> row = {pf};
     double mean = 0.0;
-    std::size_t count = 0;
     for (const auto& app : apps) {
-      double v = 0.0;
-      for (const auto& c : cells) {
-        if (c.prefetcher == pf && c.app == app) {
-          v = value_of(c);
-          break;
-        }
-      }
+      const core::ExperimentCell* cell = result.find(pf, app);
+      const double v = cell != nullptr ? value_of(*cell) : 0.0;
       row.push_back(common::TablePrinter::fmt_pct(v));
       mean += v;
-      ++count;
     }
-    row.push_back(common::TablePrinter::fmt_pct(mean / static_cast<double>(count)));
+    row.push_back(common::TablePrinter::fmt_pct(mean / static_cast<double>(apps.size())));
     t.add_row(row);
   }
   emit(t, csv_name);

@@ -1,23 +1,21 @@
 // Shared driver for the Figs. 12/13/14 bench binaries: one full
-// (app x prefetcher) simulator sweep, cached on disk so the three binaries
-// (run alphabetically by the bench loop) compute it only once.
+// (app x prefetcher) ExperimentRunner sweep, cached on disk so the three
+// binaries (run alphabetically by the bench loop) compute it only once.
 #pragma once
 
 #include <string>
-#include <vector>
 
-#include "core/prefetch_eval.hpp"
+#include "core/experiment.hpp"
 
 namespace dart::bench {
 
 /// Loads the cached sweep if its tag matches the current knobs; otherwise
 /// runs the sweep and writes the cache ("prefetch_sweep_cache.csv").
-std::vector<core::PrefetchCell> cached_prefetch_sweep();
+core::ExperimentResult cached_prefetch_sweep();
 
 /// Prints the per-app + mean table for one metric ("accuracy", "coverage",
 /// or "ipc") and writes `csv_name`.
-void print_metric_table(const std::vector<core::PrefetchCell>& cells,
-                        const std::string& metric, const std::string& title,
-                        const std::string& csv_name);
+void print_metric_table(const core::ExperimentResult& result, const std::string& metric,
+                        const std::string& title, const std::string& csv_name);
 
 }  // namespace dart::bench

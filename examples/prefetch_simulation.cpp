@@ -3,63 +3,55 @@
 // on a pointer-heavy workload — the use case the paper's introduction
 // motivates (rule-based prefetchers cannot learn irregular correlations).
 //
-// Run: ./build/examples/prefetch_simulation [app] (default 605.mcf)
+// Built on the experiment API: every prefetcher is a registry spec string,
+// so extra scenarios need no code — pass them on the command line:
+//
+//   ./build/examples/prefetch_simulation [app] [spec ...]
+//   ./build/examples/prefetch_simulation 605.mcf "stride:table=512,degree=4" \
+//       "dart:variant=l,threshold=0.6"
 #include <cstdio>
 
-#include "core/configs.hpp"
-#include "core/pipeline.hpp"
-#include "prefetch/nn_prefetchers.hpp"
-#include "prefetch/rule_based.hpp"
-#include "sim/simulator.hpp"
-#include "tabular/complexity.hpp"
+#include "core/experiment.hpp"
 
 using namespace dart;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const trace::App app = argc > 1 ? trace::app_from_name(argv[1]) : trace::App::kMcf;
 
-  core::PipelineOptions options = core::PipelineOptions::bench_defaults();
-  options.raw_accesses = 200000;
-  options.prep.max_samples = 4000;
+  core::ExperimentSpec spec;
+  spec.apps = {app};
+  spec.prefetchers = {"bo", "isb", "dart"};
+  for (int i = 2; i < argc; ++i) spec.prefetchers.push_back(argv[i]);
+  spec.pipeline.raw_accesses = 200000;
+  spec.pipeline.prep.max_samples = 4000;
 
   std::printf("== %s ==\n", trace::app_name(app).c_str());
-  core::Pipeline pipe(app, options);
-  pipe.prepare();
+  std::printf("running %zu prefetchers (training happens lazily per spec)...\n",
+              spec.prefetchers.size());
+  const core::ExperimentResult result = core::ExperimentRunner(spec).run();
 
-  // Train and tabularize (teacher -> KD student -> tables).
-  std::printf("training + tabularizing DART...\n");
-  tabular::TabularizeOptions tab = options.tab;
-  tab.encoder = pq::EncoderKind::kHashTree;  // O(log K) queries in the loop
-  auto dart_predictor =
-      std::make_shared<tabular::TabularPredictor>(pipe.tabularize(tab));
-  const auto cost = tabular::tabular_model_cost(options.student_arch, tab.tables);
-
-  prefetch::NnAdapterOptions adapter;
-  adapter.prep = options.prep;
-  adapter.latency = cost.latency_cycles;
-  prefetch::DartPrefetcher dart(dart_predictor, adapter);
-  prefetch::BestOffsetPrefetcher bo;
-  prefetch::IsbPrefetcher isb;
-
-  sim::Simulator simulator(options.sim);
-  const auto& trace = pipe.raw_trace();
-  const sim::SimStats base = simulator.run(trace);
-  const sim::SimStats s_bo = simulator.run(trace, &bo);
-  const sim::SimStats s_isb = simulator.run(trace, &isb);
-  const sim::SimStats s_dart = simulator.run(trace, &dart);
-
-  std::printf("\n%-12s %8s %10s %10s %10s\n", "prefetcher", "IPC", "improve", "accuracy",
-              "coverage");
-  auto row = [&](const char* name, const sim::SimStats& s) {
-    std::printf("%-12s %8.3f %9.1f%% %9.1f%% %9.1f%%\n", name, s.ipc(),
-                base.ipc() > 0 ? 100.0 * (s.ipc() - base.ipc()) / base.ipc() : 0.0,
-                100.0 * s.accuracy(), 100.0 * s.coverage());
-  };
-  row("(none)", base);
-  row("BO", s_bo);
-  row("ISB", s_isb);
-  row("DART", s_dart);
-  std::printf("\nDART predictor: %.1f KB of tables, %zu-cycle prediction latency\n",
-              dart_predictor->storage_bytes() / 1024.0, cost.latency_cycles);
+  std::printf("\n%-28s %8s %10s %10s %10s\n", "prefetcher (spec)", "IPC", "improve",
+              "accuracy", "coverage");
+  if (!result.cells.empty()) {
+    std::printf("%-28s %8.3f %9.1f%% %9s %9s\n", "(none)", result.cells[0].baseline_ipc, 0.0,
+                "-", "-");
+  }
+  for (const auto& c : result.cells) {
+    const std::string label =
+        c.prefetcher == c.spec ? c.prefetcher : c.prefetcher + " (" + c.spec + ")";
+    std::printf("%-28s %8.3f %9.1f%% %9.1f%% %9.1f%%\n", label.c_str(), c.stats.ipc(),
+                100.0 * c.ipc_improvement, 100.0 * c.stats.accuracy(),
+                100.0 * c.stats.coverage());
+  }
+  const core::ExperimentCell* dart = result.find("DART", trace::app_name(app));
+  if (dart != nullptr) {
+    std::printf("\nDART predictor: %.1f KB of tables, %zu-cycle prediction latency\n",
+                dart->storage_bytes / 1024.0, dart->latency_cycles);
+  }
+  result.write_json("prefetch_simulation.json");
+  std::printf("[json] prefetch_simulation.json\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -21,6 +21,11 @@ double env_double(const char* name, double fallback) {
   return (end != nullptr && *end == '\0') ? parsed : fallback;
 }
 
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
 std::vector<std::string> env_list(const char* name) {
   std::vector<std::string> out;
   const char* v = std::getenv(name);

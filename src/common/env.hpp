@@ -16,6 +16,9 @@ std::int64_t env_int(const char* name, std::int64_t fallback);
 /// Reads a double env var, returning `fallback` when unset or malformed.
 double env_double(const char* name, double fallback);
 
+/// Reads a string env var, returning `fallback` when unset or empty.
+std::string env_string(const char* name, const std::string& fallback);
+
 /// Reads a comma-separated string list; empty when unset.
 std::vector<std::string> env_list(const char* name);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/env.hpp"
+
 namespace dart::common {
 namespace {
 thread_local bool t_inside_pool = false;
@@ -62,9 +64,13 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::instance() {
-  static ThreadPool pool;
+  // DART_THREADS overrides the worker count (<= 0 = hardware_concurrency).
+  static ThreadPool pool(
+      static_cast<std::size_t>(std::max<std::int64_t>(0, env_int("DART_THREADS", 0))));
   return pool;
 }
+
+bool ThreadPool::inside_worker() { return t_inside_pool; }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t min_grain) {

@@ -42,6 +42,11 @@ class ThreadPool {
   /// Process-wide pool, created on first use.
   static ThreadPool& instance();
 
+  /// True when the calling thread is a pool worker — callers must then run
+  /// work inline instead of fork-joining (a bounded pool cannot wait on
+  /// itself without risking deadlock).
+  static bool inside_worker();
+
  private:
   void worker_loop();
 

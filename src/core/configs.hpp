@@ -15,6 +15,12 @@ namespace dart::core {
 /// bits, 128-wide delta bitmap, 8-access look-forward window.
 trace::PreprocessOptions default_preprocess();
 
+/// Table IX prediction latencies of the NN baselines, in cycles ("4.5K" and
+/// "27.7K" in the paper). Used both as the registry defaults for the
+/// transfetch/voyager entries and for the Table IX display rows.
+inline constexpr std::size_t kTransFetchLatencyCycles = 4500;
+inline constexpr std::size_t kVoyagerLatencyCycles = 27700;
+
 /// The paper's Table V Teacher: L=4, D=256, H=8 (DF = 4D, DO = 128).
 nn::ModelConfig paper_teacher_config();
 

@@ -1,0 +1,438 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <condition_variable>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/configs.hpp"
+#include "tabular/complexity.hpp"
+
+namespace dart::core {
+
+namespace {
+
+/// Per-app shared state: the trained pipeline, the baseline run, and the
+/// context lending artifacts to registry factories. The mutex serializes
+/// lazy training and the DART-model cache across this app's cells; cells of
+/// different apps never contend.
+struct AppState {
+  explicit AppState(trace::App a, const PipelineOptions& options)
+      : app(a), pipe(a, options) {}
+
+  trace::App app;
+  Pipeline pipe;
+  std::mutex mu;
+  sim::PrefetcherContext ctx;
+  double baseline_ipc = 0.0;
+  std::map<std::string, sim::DartModel> dart_cache;
+};
+
+/// Distills + tabularizes the requested DART variant against `state`'s app.
+/// The default variant reuses the pipeline's cached student; S/L retrain a
+/// student at the variant's architecture from the shared teacher (exactly
+/// the paper's Table VIII setup). Caller holds `state.mu`.
+/// Canonical variant key: lowercased, synonyms collapsed. Shared by the
+/// model builder and the cache key so "dart:variant=L" and "DART-L" (or
+/// "default"/"m"/"") hit the same cached model.
+std::string normalize_dart_variant(const std::string& variant) {
+  std::string v = variant;
+  for (auto& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (v == "m" || v.empty()) v = "default";
+  return v;
+}
+
+sim::DartModel build_dart_model(AppState& state, const PipelineOptions& popts,
+                                const sim::DartModelRequest& request) {
+  const std::string variant = normalize_dart_variant(request.variant);
+  DartVariant v;
+  if (variant == "s") {
+    v = dart_s_variant();
+  } else if (variant == "l") {
+    v = dart_l_variant();
+  } else if (variant == "default") {
+    v = dart_variant();
+  } else {
+    throw std::invalid_argument("unknown DART variant '" + request.variant +
+                                "' (expected s, default or l)");
+  }
+
+  tabular::TableConfig tables = v.tables;
+  if (request.table_k != 0 || request.table_c != 0) {
+    tables = tabular::TableConfig::uniform(
+        request.table_k != 0 ? request.table_k : v.tables.attention.k,
+        request.table_c != 0 ? request.table_c : v.tables.attention.c, v.tables.data_bits);
+  }
+
+  tabular::TabularizeOptions tab = popts.tab;
+  tab.tables = tables;
+  // Simulation queries must be O(log K): use the hash-tree encoder.
+  tab.encoder = pq::EncoderKind::kHashTree;
+
+  std::shared_ptr<tabular::TabularPredictor> predictor;
+  const bool reuse_default_student = variant != "s" && variant != "l";
+  if (reuse_default_student) {
+    predictor = std::make_shared<tabular::TabularPredictor>(state.pipe.tabularize(tab));
+  } else {
+    PipelineOptions po = popts;
+    po.student_arch = v.arch;
+    Pipeline variant_pipe(state.app, po);
+    // Share the prepared data by re-preparing (deterministic: same seed).
+    variant_pipe.prepare();
+    nn::AddressPredictor& teacher = state.pipe.teacher();
+    nn::AddressPredictor student(v.arch, common::derive_seed(po.seed, 3));
+    nn::train_distill(student, teacher, variant_pipe.train_set(), po.student_train, po.kd);
+    predictor = std::make_shared<tabular::TabularPredictor>(
+        tabular::tabularize(student, variant_pipe.train_set().addr,
+                            variant_pipe.train_set().pc, tab));
+  }
+
+  sim::DartModel model;
+  model.predictor = std::move(predictor);
+  model.latency_cycles = tabular::tabular_model_cost(v.arch, tables).latency_cycles;
+  model.display_name = v.name;
+  return model;
+}
+
+void build_context(AppState& state, const ExperimentSpec& spec) {
+  AppState* s = &state;
+  const PipelineOptions popts = spec.pipeline;
+  state.ctx.prep = popts.prep;
+  state.ctx.degree = popts.sim.max_degree;
+  state.ctx.nn_trigger_sample = spec.nn_trigger_sample;
+  state.ctx.attention_model = [s] {
+    std::lock_guard lock(s->mu);
+    return s->pipe.teacher_shared();
+  };
+  state.ctx.lstm_model = [s] {
+    std::lock_guard lock(s->mu);
+    return s->pipe.lstm_baseline_shared();
+  };
+  state.ctx.dart_model = [s, popts](const sim::DartModelRequest& request) {
+    std::lock_guard lock(s->mu);
+    std::ostringstream key;
+    key << normalize_dart_variant(request.variant) << '/' << request.table_k << '/'
+        << request.table_c;
+    auto it = s->dart_cache.find(key.str());
+    if (it == s->dart_cache.end()) {
+      it = s->dart_cache.emplace(key.str(), build_dart_model(*s, popts, request)).first;
+    }
+    return it->second;
+  };
+}
+
+/// Runs every task, fanning out on the shared pool when possible. The first
+/// task exception is rethrown after all tasks finished (cells already in
+/// flight are never abandoned mid-simulation).
+void run_tasks(const std::vector<std::function<void()>>& tasks, bool parallel) {
+  auto& pool = common::ThreadPool::instance();
+  if (!parallel || tasks.size() <= 1 || pool.size() <= 1 ||
+      common::ThreadPool::inside_worker()) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = tasks.size();
+  std::exception_ptr first_error;
+  for (const auto& task : tasks) {
+    pool.submit([&, task] {
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard lock(mu);
+      if (error && !first_error) first_error = error;
+      if (--remaining == 0) cv.notify_all();
+    });
+  }
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return remaining == 0; });
+  // Rethrow the original exception so failures surface with the same type
+  // regardless of the parallel flag.
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+// Minimal CSV field handling: quote fields containing commas (spec strings
+// do), matching common::TablePrinter's convention.
+std::string csv_quote(const std::string& field) {
+  if (field.find(',') == std::string::npos) return field;
+  return "\"" + field + "\"";
+}
+
+bool csv_next_field(std::stringstream& ss, std::string* out) {
+  out->clear();
+  if (!ss.good()) return false;
+  if (ss.peek() == '"') {
+    ss.get();
+    std::getline(ss, *out, '"');
+    if (ss.peek() == ',') ss.get();
+    return true;
+  }
+  return static_cast<bool>(std::getline(ss, *out, ','));
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ExperimentSpec
+
+ExperimentSpec ExperimentSpec::bench_defaults() {
+  ExperimentSpec spec;
+  for (const auto& name : common::env_list("DART_APPS")) {
+    spec.apps.push_back(trace::app_from_name(name));
+  }
+  const std::string pfs = common::env_string("DART_PREFETCHERS", "");
+  if (!pfs.empty()) spec.prefetchers = sim::split_spec_list(pfs);
+  return spec;
+}
+
+// ---------------------------------------------------------- ExperimentResult
+
+std::vector<std::string> ExperimentResult::apps() const {
+  std::vector<std::string> out;
+  for (const auto& c : cells) {
+    if (std::find(out.begin(), out.end(), c.app) == out.end()) out.push_back(c.app);
+  }
+  return out;
+}
+
+std::vector<std::string> ExperimentResult::prefetchers() const {
+  std::vector<std::string> out;
+  for (const auto& c : cells) {
+    if (std::find(out.begin(), out.end(), c.prefetcher) == out.end()) {
+      out.push_back(c.prefetcher);
+    }
+  }
+  return out;
+}
+
+const ExperimentCell* ExperimentResult::find(const std::string& prefetcher,
+                                             const std::string& app) const {
+  for (const auto& c : cells) {
+    if (c.prefetcher == prefetcher && c.app == app) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<PrefetcherSummary> ExperimentResult::summaries() const {
+  std::vector<PrefetcherSummary> out;
+  std::vector<std::size_t> counts;
+  for (const auto& c : cells) {
+    std::size_t i = 0;
+    while (i < out.size() && out[i].prefetcher != c.prefetcher) ++i;
+    if (i == out.size()) {
+      PrefetcherSummary s;
+      s.prefetcher = c.prefetcher;
+      out.push_back(s);
+      counts.push_back(0);
+    }
+    PrefetcherSummary& s = out[i];
+    s.mean_accuracy += c.stats.accuracy();
+    s.mean_coverage += c.stats.coverage();
+    s.mean_ipc_improvement += c.ipc_improvement;
+    s.storage_bytes = std::max(s.storage_bytes, c.storage_bytes);
+    s.latency_cycles = c.latency_cycles;
+    ++counts[i];
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double n = static_cast<double>(counts[i]);
+    out[i].mean_accuracy /= n;
+    out[i].mean_coverage /= n;
+    out[i].mean_ipc_improvement /= n;
+  }
+  return out;
+}
+
+bool ExperimentResult::write_csv(const std::string& path, const std::string& tag) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  if (!tag.empty()) out << tag << '\n';
+  out << "spec,prefetcher,app,baseline_ipc,ipc_improvement,pf_issued,pf_useful,pf_late,"
+         "pf_dropped,llc_accesses,llc_hits,llc_demand_misses,instructions,cycles,"
+         "storage_bytes,latency_cycles\n";
+  out << std::setprecision(12);
+  for (const auto& c : cells) {
+    out << csv_quote(c.spec) << ',' << csv_quote(c.prefetcher) << ',' << c.app << ','
+        << c.baseline_ipc << ',' << c.ipc_improvement << ',' << c.stats.pf_issued << ','
+        << c.stats.pf_useful << ',' << c.stats.pf_late << ',' << c.stats.pf_dropped << ','
+        << c.stats.llc_accesses << ',' << c.stats.llc_hits << ','
+        << c.stats.llc_demand_misses << ',' << c.stats.instructions << ',' << c.stats.cycles
+        << ',' << c.storage_bytes << ',' << c.latency_cycles << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool ExperimentResult::read_csv(const std::string& path, const std::string& expected_tag,
+                                ExperimentResult* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!expected_tag.empty()) {
+    if (!std::getline(in, line) || line != expected_tag) return false;
+  }
+  if (!std::getline(in, line)) return false;  // header
+  ExperimentResult result;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    ExperimentCell c;
+    std::string field;
+    if (!csv_next_field(ss, &c.spec) || !csv_next_field(ss, &c.prefetcher) ||
+        !csv_next_field(ss, &c.app)) {
+      return false;
+    }
+    auto next_d = [&]() {
+      if (!csv_next_field(ss, &field)) throw std::invalid_argument("short row");
+      return std::stod(field);
+    };
+    auto next_u = [&]() { return static_cast<std::uint64_t>(next_d()); };
+    try {
+      c.baseline_ipc = next_d();
+      c.ipc_improvement = next_d();
+      c.stats.pf_issued = next_u();
+      c.stats.pf_useful = next_u();
+      c.stats.pf_late = next_u();
+      c.stats.pf_dropped = next_u();
+      c.stats.llc_accesses = next_u();
+      c.stats.llc_hits = next_u();
+      c.stats.llc_demand_misses = next_u();
+      c.stats.instructions = next_u();
+      c.stats.cycles = next_u();
+      c.storage_bytes = static_cast<std::size_t>(next_u());
+      c.latency_cycles = static_cast<std::size_t>(next_u());
+    } catch (const std::exception&) {
+      return false;
+    }
+    result.cells.push_back(std::move(c));
+  }
+  if (result.cells.empty()) return false;
+  *out = std::move(result);
+  return true;
+}
+
+bool ExperimentResult::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << std::setprecision(12) << "[\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ExperimentCell& c = cells[i];
+    out << "  {\"spec\": \"" << json_escape(c.spec) << "\", \"prefetcher\": \""
+        << json_escape(c.prefetcher) << "\", \"app\": \"" << json_escape(c.app)
+        << "\", \"baseline_ipc\": " << c.baseline_ipc
+        << ", \"ipc_improvement\": " << c.ipc_improvement
+        << ", \"accuracy\": " << c.stats.accuracy()
+        << ", \"coverage\": " << c.stats.coverage() << ", \"ipc\": " << c.stats.ipc()
+        << ", \"pf_issued\": " << c.stats.pf_issued << ", \"pf_useful\": " << c.stats.pf_useful
+        << ", \"pf_late\": " << c.stats.pf_late
+        << ", \"llc_demand_misses\": " << c.stats.llc_demand_misses
+        << ", \"instructions\": " << c.stats.instructions << ", \"cycles\": " << c.stats.cycles
+        << ", \"storage_bytes\": " << c.storage_bytes
+        << ", \"latency_cycles\": " << c.latency_cycles << "}"
+        << (i + 1 < cells.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+  return static_cast<bool>(out);
+}
+
+// ---------------------------------------------------------- ExperimentRunner
+
+ExperimentRunner::ExperimentRunner(ExperimentSpec spec) : spec_(std::move(spec)) {}
+
+ExperimentResult ExperimentRunner::run() {
+  const std::vector<trace::App> apps = spec_.apps.empty() ? trace::all_apps() : spec_.apps;
+  // Fail fast on unknown prefetcher names, before any training starts.
+  for (const auto& spec_text : spec_.prefetchers) {
+    sim::PrefetcherRegistry::instance().validate(spec_text);
+  }
+
+  std::vector<std::unique_ptr<AppState>> states;
+  states.reserve(apps.size());
+  for (trace::App app : apps) {
+    states.push_back(std::make_unique<AppState>(app, spec_.pipeline));
+    build_context(*states.back(), spec_);
+  }
+
+  // Phase 1: per-app preparation (trace generation + dataset + baseline
+  // simulation) in parallel across apps.
+  std::vector<std::function<void()>> prep_tasks;
+  for (auto& state_ptr : states) {
+    AppState* state = state_ptr.get();
+    prep_tasks.push_back([state, this] {
+      state->pipe.prepare();
+      sim::Simulator simulator(spec_.pipeline.sim);
+      state->baseline_ipc = simulator.run(state->pipe.raw_trace(), nullptr).ipc();
+    });
+  }
+  run_tasks(prep_tasks, spec_.parallel);
+
+  // Phase 2: every (app, prefetcher) cell is an independent pool task.
+  // Heavy shared artifacts (teacher, LSTM, DART tables) are trained lazily
+  // under the app's context lock the first time a cell needs them.
+  ExperimentResult result;
+  result.cells.assign(apps.size() * spec_.prefetchers.size(), ExperimentCell{});
+  std::vector<std::function<void()>> cell_tasks;
+  for (std::size_t a = 0; a < states.size(); ++a) {
+    for (std::size_t p = 0; p < spec_.prefetchers.size(); ++p) {
+      AppState* state = states[a].get();
+      ExperimentCell* cell = &result.cells[a * spec_.prefetchers.size() + p];
+      const std::string spec_text = spec_.prefetchers[p];
+      cell_tasks.push_back([state, cell, spec_text, this] {
+        std::unique_ptr<sim::Prefetcher> pf = sim::make_prefetcher(spec_text, state->ctx);
+        // NN adapters drive a model shared with this app's other cells and
+        // mutate it during forward: serialize their simulations on the app
+        // lock (cells of other apps and rule-based cells stay concurrent).
+        std::unique_lock<std::mutex> model_lock;
+        if (pf->shares_mutable_model()) model_lock = std::unique_lock(state->mu);
+        sim::Simulator simulator(spec_.pipeline.sim);
+        const sim::SimStats stats = simulator.run(state->pipe.raw_trace(), pf.get());
+        cell->spec = spec_text;
+        cell->prefetcher = pf->name();
+        cell->app = trace::app_name(state->app);
+        cell->stats = stats;
+        cell->baseline_ipc = state->baseline_ipc;
+        cell->ipc_improvement = state->baseline_ipc > 0.0
+                                    ? (stats.ipc() - state->baseline_ipc) / state->baseline_ipc
+                                    : 0.0;
+        cell->storage_bytes = pf->storage_bytes();
+        cell->latency_cycles = pf->prediction_latency();
+      });
+    }
+  }
+  // Single-app grids run cells inline: their heavy cost is model training,
+  // which serializes on the one app lock anyway, and training's nested
+  // parallel_for only fans out when not already inside a pool worker.
+  run_tasks(cell_tasks, spec_.parallel && states.size() > 1);
+
+  // Distinct specs can share a display name (e.g. two unlabeled stride
+  // configurations). Reporting groups by display name, so fall back to the
+  // spec text for colliding names rather than silently merging their cells.
+  std::map<std::string, std::set<std::string>> specs_by_name;
+  for (const auto& c : result.cells) specs_by_name[c.prefetcher].insert(c.spec);
+  for (auto& c : result.cells) {
+    if (specs_by_name[c.prefetcher].size() > 1) c.prefetcher = c.spec;
+  }
+  return result;
+}
+
+}  // namespace dart::core

@@ -1,0 +1,103 @@
+// First-class experiment API for the prefetching evaluation (Figs. 12-14,
+// Table IX): an ExperimentSpec names a grid of apps x prefetcher specs, and
+// ExperimentRunner schedules the individual (app, prefetcher) cells on the
+// shared common::thread_pool — finer-grained than one thread per app, so a
+// wide prefetcher list keeps every core busy even with few apps.
+//
+// Prefetchers are constructed through the sim::PrefetcherRegistry from spec
+// strings ("bo", "stride:table=256,degree=4", "dart:variant=l"), with each
+// app's trained pipeline artifacts lent to the factories via a
+// sim::PrefetcherContext. Adding a scenario is a registry entry plus a spec
+// string — this file never changes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "sim/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace dart::core {
+
+/// The experiment grid: apps x prefetcher specs, plus shared sim/pipeline
+/// configuration.
+struct ExperimentSpec {
+  std::vector<trace::App> apps;  ///< empty = all eight Table IV apps
+  /// Prefetcher spec strings (sim/registry.hpp grammar). Defaults to the
+  /// paper's evaluated set; legacy display names are registry aliases.
+  std::vector<std::string> prefetchers = {"BO",        "ISB",          "TransFetch",
+                                          "Voyager",   "TransFetch-I", "Voyager-I",
+                                          "DART-S",    "DART",         "DART-L"};
+  PipelineOptions pipeline = PipelineOptions::bench_defaults();
+  /// Simulation-cost sampling for the heavyweight NN baselines: run their
+  /// (expensive CPU-side) inference on every Nth LLC access. Applied to the
+  /// ideal variants too, so comparisons stay fair.
+  std::size_t nn_trigger_sample = 4;
+  /// Schedule cells on the shared thread pool (false = run in spec order).
+  bool parallel = true;
+
+  /// Env-driven defaults: DART_APPS selects the app subset and
+  /// DART_PREFETCHERS accepts arbitrary spec strings (';'-separated; plain
+  /// ','-separated name lists also work).
+  static ExperimentSpec bench_defaults();
+};
+
+/// One (app, prefetcher) result cell.
+struct ExperimentCell {
+  std::string spec;        ///< spec string as requested
+  std::string prefetcher;  ///< display name (Prefetcher::name())
+  std::string app;
+  sim::SimStats stats;
+  double baseline_ipc = 0.0;
+  double ipc_improvement = 0.0;  ///< (ipc - baseline) / baseline
+  std::size_t storage_bytes = 0;
+  std::size_t latency_cycles = 0;
+};
+
+/// Mean accuracy / coverage / IPC improvement per prefetcher, in first-seen
+/// cell order.
+struct PrefetcherSummary {
+  std::string prefetcher;
+  double mean_accuracy = 0.0;
+  double mean_coverage = 0.0;
+  double mean_ipc_improvement = 0.0;
+  std::size_t storage_bytes = 0;
+  std::size_t latency_cycles = 0;
+};
+
+/// Structured result of a grid run: app-major cells in request order, plus
+/// aggregation and shared CSV/JSON export.
+struct ExperimentResult {
+  std::vector<ExperimentCell> cells;
+
+  /// Distinct apps / prefetcher display names in first-seen cell order.
+  std::vector<std::string> apps() const;
+  std::vector<std::string> prefetchers() const;
+  /// First cell matching (prefetcher display name, app); nullptr if absent.
+  const ExperimentCell* find(const std::string& prefetcher, const std::string& app) const;
+  std::vector<PrefetcherSummary> summaries() const;
+
+  /// CSV round-trip. `tag` is an opaque first-line comment (cache keying);
+  /// read_csv returns false when the file is missing or the tag mismatches.
+  bool write_csv(const std::string& path, const std::string& tag = "") const;
+  static bool read_csv(const std::string& path, const std::string& expected_tag,
+                       ExperimentResult* out);
+  bool write_json(const std::string& path) const;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentSpec spec);
+
+  /// Runs the grid. Spec strings are validated up front (unknown prefetcher
+  /// names throw before any training starts). A cell failure propagates to
+  /// the caller; in parallel mode it is rethrown after all in-flight cells
+  /// finish, in sequential mode it aborts the remaining cells immediately.
+  ExperimentResult run();
+
+ private:
+  ExperimentSpec spec_;
+};
+
+}  // namespace dart::core

@@ -46,11 +46,16 @@ void Pipeline::prepare() {
 nn::AddressPredictor& Pipeline::teacher() {
   if (!teacher_) {
     prepare();
-    teacher_ = std::make_unique<nn::AddressPredictor>(opts_.teacher_arch,
+    teacher_ = std::make_shared<nn::AddressPredictor>(opts_.teacher_arch,
                                                       common::derive_seed(opts_.seed, 2));
     nn::train_bce(*teacher_, train_, opts_.teacher_train);
   }
   return *teacher_;
+}
+
+std::shared_ptr<nn::AddressPredictor> Pipeline::teacher_shared() {
+  teacher();
+  return teacher_;
 }
 
 nn::AddressPredictor& Pipeline::student_no_kd() {
@@ -89,12 +94,17 @@ tabular::TabularPredictor& Pipeline::dart() {
 nn::LstmPredictor& Pipeline::lstm_baseline() {
   if (!lstm_) {
     prepare();
-    lstm_ = std::make_unique<nn::LstmPredictor>(
+    lstm_ = std::make_shared<nn::LstmPredictor>(
         opts_.prep.addr_segments, opts_.prep.pc_segments, /*hidden=*/64,
         opts_.prep.bitmap_size, common::derive_seed(opts_.seed, 4));
     nn::train_bce(*lstm_, train_, opts_.student_train);
   }
   return *lstm_;
+}
+
+std::shared_ptr<nn::LstmPredictor> Pipeline::lstm_baseline_shared() {
+  lstm_baseline();
+  return lstm_;
 }
 
 nn::F1Result Pipeline::eval_nn(nn::AddressPredictor& model) {

@@ -66,6 +66,11 @@ class Pipeline {
   /// Voyager-like LSTM baseline trained on the same data.
   nn::LstmPredictor& lstm_baseline();
 
+  /// Shared-ownership handles to the cached models, for prefetcher adapters
+  /// that may outlive the pipeline (sim::PrefetcherContext providers).
+  std::shared_ptr<nn::AddressPredictor> teacher_shared();
+  std::shared_ptr<nn::LstmPredictor> lstm_baseline_shared();
+
   // F1 on the held-out test split.
   nn::F1Result eval_nn(nn::AddressPredictor& model);
   nn::F1Result eval_lstm(nn::LstmPredictor& model);
@@ -86,10 +91,10 @@ class Pipeline {
   trace::MemoryTrace llc_;
   nn::Dataset train_;
   nn::Dataset test_;
-  std::unique_ptr<nn::AddressPredictor> teacher_;
+  std::shared_ptr<nn::AddressPredictor> teacher_;
   std::unique_ptr<nn::AddressPredictor> student_no_kd_;
   std::unique_ptr<nn::AddressPredictor> student_;
-  std::unique_ptr<nn::LstmPredictor> lstm_;
+  std::shared_ptr<nn::LstmPredictor> lstm_;
   std::unique_ptr<tabular::TabularPredictor> dart_;
 };
 

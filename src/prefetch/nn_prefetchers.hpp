@@ -92,6 +92,8 @@ class AttentionPrefetcher final : public NnPrefetcherBase {
 
   std::size_t storage_bytes() const override;
   std::string name() const override { return name_; }
+  /// The attention model caches activations during forward.
+  bool shares_mutable_model() const override { return true; }
 
  protected:
   nn::Tensor predict(const nn::Tensor& addr, const nn::Tensor& pc) override;
@@ -108,6 +110,8 @@ class LstmPrefetcher final : public NnPrefetcherBase {
 
   std::size_t storage_bytes() const override;
   std::string name() const override { return name_; }
+  /// The LSTM model caches activations during forward.
+  bool shares_mutable_model() const override { return true; }
 
  protected:
   nn::Tensor predict(const nn::Tensor& addr, const nn::Tensor& pc) override;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/registry.hpp"
+
 namespace dart::prefetch {
 
 // ------------------------------------------------------------------ NextLine
@@ -199,3 +201,43 @@ std::size_t IsbPrefetcher::storage_bytes() const {
 }
 
 }  // namespace dart::prefetch
+
+// ------------------------------------------------------- registry entries
+
+namespace dart::sim {
+
+void register_rule_based_prefetchers(PrefetcherRegistry& registry) {
+  using prefetch::BestOffsetPrefetcher;
+  using prefetch::IsbPrefetcher;
+  using prefetch::NextLinePrefetcher;
+  using prefetch::StridePrefetcher;
+
+  registry.add("nextline", [](PrefetcherSpec& spec, PrefetcherContext&) {
+    return std::make_unique<NextLinePrefetcher>(spec.get_uint("degree", 2));
+  });
+  registry.add("stride", [](PrefetcherSpec& spec, PrefetcherContext&) {
+    return std::make_unique<StridePrefetcher>(spec.get_uint("table", 256),
+                                              spec.get_uint("degree", 2));
+  });
+  registry.add("bo", [](PrefetcherSpec& spec, PrefetcherContext&) {
+    BestOffsetPrefetcher::Options o;
+    o.rr_entries = spec.get_uint("rr", o.rr_entries);
+    o.score_max = static_cast<int>(spec.get_uint("score_max", o.score_max));
+    o.round_max = static_cast<int>(spec.get_uint("round_max", o.round_max));
+    o.bad_score = static_cast<int>(spec.get_uint("bad_score", o.bad_score));
+    o.max_offset = spec.get_uint("max_offset", o.max_offset);
+    o.degree = spec.get_uint("degree", o.degree);
+    o.latency = spec.get_uint("latency", o.latency);
+    return std::make_unique<BestOffsetPrefetcher>(o);
+  });
+  registry.add("isb", [](PrefetcherSpec& spec, PrefetcherContext&) {
+    IsbPrefetcher::Options o;
+    o.max_mappings = spec.get_uint("mappings", o.max_mappings);
+    o.degree = spec.get_uint("degree", o.degree);
+    o.stream_granularity = spec.get_uint("granularity", o.stream_granularity);
+    o.latency = spec.get_uint("latency", o.latency);
+    return std::make_unique<IsbPrefetcher>(o);
+  });
+}
+
+}  // namespace dart::sim

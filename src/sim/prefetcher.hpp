@@ -37,6 +37,12 @@ class Prefetcher {
   /// Metadata/model storage footprint in bytes (Table IX column).
   virtual std::size_t storage_bytes() const = 0;
 
+  /// True when the prediction path mutates state shared with other
+  /// prefetcher instances (e.g. an activation-caching NN model used by both
+  /// the practical and ideal variants). Schedulers running cells
+  /// concurrently must serialize simulations of such prefetchers.
+  virtual bool shares_mutable_model() const { return false; }
+
   virtual std::string name() const = 0;
 };
 

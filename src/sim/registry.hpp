@@ -1,0 +1,168 @@
+// Extensible prefetcher registry (DESIGN.md §4).
+//
+// Every prefetcher the experiment harness knows is a named factory keyed by
+// a parseable *spec string*:
+//
+//   spec   := name [":" param ("," param)*]
+//   param  := key "=" value | flag
+//
+// e.g. "stride:table=256,degree=4", "dart:variant=l,threshold=0.6" or
+// "transfetch:ideal". Names and keys are case-insensitive; a bare flag is
+// shorthand for `flag=1`. Legacy display names ("DART-S", "TransFetch-I")
+// are registered as aliases that imply the matching parameters, so every
+// spec the old hard-coded driver accepted still works.
+//
+// Factories receive a `PrefetcherContext` that lends them *lazy* access to
+// trained pipeline artifacts (attention teacher, LSTM baseline, tabularized
+// DART predictor). Rule-based prefetchers ignore the context entirely, so
+// they can be built with the context-free `make_prefetcher(spec)` overload.
+//
+// Adding a scenario is now a registry entry plus a spec string — never an
+// edit to the evaluation driver.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/prefetcher.hpp"
+#include "trace/preprocess.hpp"
+
+namespace dart::nn {
+class AddressPredictor;
+class LstmPredictor;
+}  // namespace dart::nn
+namespace dart::tabular {
+class TabularPredictor;
+}  // namespace dart::tabular
+
+namespace dart::sim {
+
+/// Parsed form of a prefetcher spec string. Parameter getters record which
+/// keys were consumed so the registry can reject typos (`unused_keys`).
+class PrefetcherSpec {
+ public:
+  /// Parses `text`; throws std::invalid_argument on an empty name or a
+  /// malformed `key=value` pair.
+  static PrefetcherSpec parse(const std::string& text);
+
+  const std::string& name() const { return name_; }
+  const std::string& text() const { return text_; }
+
+  bool has(const std::string& key) const;
+  std::string get_string(const std::string& key, const std::string& fallback);
+  /// Throws std::invalid_argument when the value does not parse as a number.
+  std::size_t get_uint(const std::string& key, std::size_t fallback);
+  double get_double(const std::string& key, double fallback);
+  /// Bare flags ("transfetch:ideal") and 1/true/yes/on are true.
+  bool get_flag(const std::string& key, bool fallback = false);
+
+  /// Installs a parameter unless the user already set it (alias expansion).
+  void set_default(const std::string& key, const std::string& value);
+  /// Keys present in the spec that no getter ever consumed.
+  std::vector<std::string> unused_keys() const;
+
+  /// Canonical "name:k=v,..." form (keys sorted); parsing it yields an
+  /// equal spec, making specs round-trippable through CSV/JSON exports.
+  std::string canonical() const;
+
+ private:
+  std::string text_;
+  std::string name_;
+  std::map<std::string, std::string> params_;
+  std::set<std::string> used_;
+};
+
+/// Request for a tabularized DART predictor, as expressed in a spec
+/// ("dart:variant=s", optionally with table overrides).
+struct DartModelRequest {
+  std::string variant = "default";  ///< "s" | "default" | "l"
+  std::size_t table_k = 0;          ///< 0 = variant default
+  std::size_t table_c = 0;          ///< 0 = variant default
+};
+
+/// A trained tabular predictor plus its analytic cost-model latency.
+struct DartModel {
+  std::shared_ptr<const tabular::TabularPredictor> predictor;
+  std::size_t latency_cycles = 0;
+  std::string display_name = "DART";
+};
+
+/// Lends factories lazy, shared access to trained pipeline artifacts. The
+/// providers are std::functions so the owner (core::ExperimentRunner, a
+/// test, a custom harness) decides where models come from and how training
+/// is synchronized; factories that need a missing provider throw.
+struct PrefetcherContext {
+  trace::PreprocessOptions prep;       ///< must match the training pipeline
+  std::size_t degree = 16;             ///< default max predictions/trigger
+  std::size_t nn_trigger_sample = 1;   ///< default NN-baseline sampling
+
+  std::function<std::shared_ptr<nn::AddressPredictor>()> attention_model;
+  std::function<std::shared_ptr<nn::LstmPredictor>()> lstm_model;
+  std::function<DartModel(const DartModelRequest&)> dart_model;
+};
+
+using PrefetcherFactory =
+    std::function<std::unique_ptr<Prefetcher>(PrefetcherSpec&, PrefetcherContext&)>;
+
+class PrefetcherRegistry {
+ public:
+  /// Process-wide registry with the built-in factories pre-installed.
+  static PrefetcherRegistry& instance();
+
+  /// Registers `factory` under (case-insensitive) `name`.
+  void add(const std::string& name, PrefetcherFactory factory);
+  /// Registers `alias` to construct `target` with `implied` parameter
+  /// defaults (e.g. "TransFetch-I" -> "transfetch" + ideal=1).
+  void add_alias(const std::string& alias, const std::string& target,
+                 const std::map<std::string, std::string>& implied = {});
+
+  /// Parses `spec_text`, resolves aliases, runs the factory and rejects
+  /// unknown names or unconsumed parameters with std::invalid_argument.
+  /// A `label=<name>` parameter is accepted on every spec and overrides the
+  /// constructed prefetcher's display name (for parameter sweeps).
+  std::unique_ptr<Prefetcher> make(const std::string& spec_text,
+                                   PrefetcherContext& context) const;
+
+  /// Throws std::invalid_argument when `spec_text` is malformed or names an
+  /// unregistered prefetcher. Cheap (does not construct anything).
+  void validate(const std::string& spec_text) const;
+
+  bool contains(const std::string& name) const;
+  /// All registered names and aliases, sorted.
+  std::vector<std::string> known_names() const;
+
+ private:
+  struct Alias {
+    std::string target;
+    std::map<std::string, std::string> implied;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, PrefetcherFactory> factories_;
+  std::map<std::string, Alias> aliases_;
+};
+
+/// Convenience: PrefetcherRegistry::instance().make(spec, context).
+std::unique_ptr<Prefetcher> make_prefetcher(const std::string& spec_text,
+                                            PrefetcherContext& context);
+/// Context-free overload for prefetchers that need no trained artifacts.
+std::unique_ptr<Prefetcher> make_prefetcher(const std::string& spec_text);
+
+/// Splits a user-facing spec list (DART_PREFETCHERS, CLI args): semicolons
+/// always separate; commas also separate when no spec in the list carries
+/// parameters (legacy "BO,ISB,DART" lists keep working).
+std::vector<std::string> split_spec_list(const std::string& text);
+
+// Built-in factory packs, installed by instance() on first use. Defined
+// next to the prefetchers they wrap (src/prefetch/rule_based.cpp and
+// src/core/registry_entries.cpp); the whole project links as one library,
+// so the cross-directory definition is resolved at link time.
+void register_rule_based_prefetchers(PrefetcherRegistry& registry);
+void register_model_backed_prefetchers(PrefetcherRegistry& registry);
+
+}  // namespace dart::sim

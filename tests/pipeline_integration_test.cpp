@@ -3,8 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "core/configs.hpp"
+#include "core/experiment.hpp"
 #include "core/pipeline.hpp"
-#include "core/prefetch_eval.hpp"
 
 namespace dart::core {
 namespace {
@@ -76,35 +76,36 @@ TEST(PipelineIntegration, TabularizeHonorsVariantTables) {
   EXPECT_LT(small.storage_bytes(), large.storage_bytes());
 }
 
-TEST(PrefetchEval, RunsRuleBasedSweep) {
-  PrefetchEvalOptions opt;
-  opt.pipeline = tiny_options();
-  opt.prefetchers = {"NextLine", "BO", "ISB", "Stride"};
-  opt.parallel_apps = false;
-  const auto cells =
-      evaluate_prefetchers({trace::App::kLibquantum}, opt);
-  ASSERT_EQ(cells.size(), 4u);
-  for (const auto& c : cells) {
+TEST(Experiment, RunsRuleBasedSweep) {
+  ExperimentSpec spec;
+  spec.pipeline = tiny_options();
+  spec.apps = {trace::App::kLibquantum};
+  spec.prefetchers = {"NextLine", "BO", "ISB", "Stride"};
+  spec.parallel = false;
+  const ExperimentResult result = ExperimentRunner(spec).run();
+  ASSERT_EQ(result.cells.size(), 4u);
+  for (const auto& c : result.cells) {
     EXPECT_GT(c.baseline_ipc, 0.0);
     EXPECT_GE(c.stats.pf_issued, 0u);
   }
   // On a sequential workload BO must deliver a clear IPC win.
-  EXPECT_GT(cells[1].ipc_improvement, 0.02);
-  const auto summary = summarize(cells);
+  EXPECT_GT(result.cells[1].ipc_improvement, 0.02);
+  const auto summary = result.summaries();
   ASSERT_EQ(summary.size(), 4u);
   EXPECT_EQ(summary[0].prefetcher, "NextLine");
 }
 
-TEST(PrefetchEval, DartBeatsHighLatencyNnOnRegularApp) {
-  PrefetchEvalOptions opt;
-  opt.pipeline = tiny_options();
-  opt.prefetchers = {"DART", "TransFetch"};
-  opt.parallel_apps = false;
-  const auto cells = evaluate_prefetchers({trace::App::kLibquantum}, opt);
-  ASSERT_EQ(cells.size(), 2u);
+TEST(Experiment, DartBeatsHighLatencyNnOnRegularApp) {
+  ExperimentSpec spec;
+  spec.pipeline = tiny_options();
+  spec.apps = {trace::App::kLibquantum};
+  spec.prefetchers = {"DART", "TransFetch"};
+  spec.parallel = false;
+  const ExperimentResult result = ExperimentRunner(spec).run();
+  ASSERT_EQ(result.cells.size(), 2u);
   // The paper's headline: low-latency tables beat the high-latency NN.
-  EXPECT_GE(cells[0].ipc_improvement, cells[1].ipc_improvement - 0.01);
-  EXPECT_LT(cells[0].latency_cycles, cells[1].latency_cycles);
+  EXPECT_GE(result.cells[0].ipc_improvement, result.cells[1].ipc_improvement - 0.01);
+  EXPECT_LT(result.cells[0].latency_cycles, result.cells[1].latency_cycles);
 }
 
 TEST(Configs, CanonicalArchitecturesAreConsistent) {
