@@ -72,32 +72,36 @@ ThreadPool& ThreadPool::instance() {
 
 bool ThreadPool::inside_worker() { return t_inside_pool; }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
-                  std::size_t min_grain) {
+std::size_t plan_blocks(std::size_t n, std::size_t min_grain) {
+  if (n == 0) return 0;
+  const std::size_t workers = ThreadPool::instance().size();
+  // Inline cases: small range, single worker, or already inside a pool task
+  // (nested fork-join would deadlock a bounded pool waiting on itself).
+  if (t_inside_pool || n <= min_grain || workers <= 1) return 1;
+  const std::size_t blocks = std::min(workers * 2, (n + min_grain - 1) / min_grain);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  return (n + chunk - 1) / chunk;
+}
+
+void parallel_for_blocks(std::size_t n,
+                         const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+                         std::size_t min_grain) {
   if (n == 0) return;
-  auto& pool = ThreadPool::instance();
-  const std::size_t workers = pool.size();
-  // Inline when the range is small or when called from inside a pool task:
-  // nested fork-join would deadlock a bounded pool waiting on itself.
-  if (t_inside_pool || n <= min_grain || workers <= 1) {
-    body(0, n);
+  const std::size_t blocks = plan_blocks(n, min_grain);
+  if (blocks <= 1) {
+    body(0, 0, n);
     return;
   }
-  const std::size_t blocks = std::min(workers * 2, (n + min_grain - 1) / min_grain);
+  auto& pool = ThreadPool::instance();
   const std::size_t chunk = (n + blocks - 1) / blocks;
   std::mutex done_mutex;
   std::condition_variable done_cv;
-  std::size_t remaining = 0;
-  for (std::size_t b = 0; b < blocks; ++b) {
-    if (b * chunk >= n) break;
-    ++remaining;
-  }
+  std::size_t remaining = blocks;
   for (std::size_t b = 0; b < blocks; ++b) {
     const std::size_t begin = b * chunk;
-    if (begin >= n) break;
     const std::size_t end = std::min(n, begin + chunk);
-    pool.submit([&, begin, end] {
-      body(begin, end);
+    pool.submit([&, b, begin, end] {
+      body(b, begin, end);
       // Decrement under the mutex so the waiter cannot destroy the
       // synchronization state while this worker still references it.
       std::lock_guard lock(done_mutex);
@@ -106,6 +110,12 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size
   }
   std::unique_lock lock(done_mutex);
   done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_grain) {
+  parallel_for_blocks(
+      n, [&](std::size_t, std::size_t begin, std::size_t end) { body(begin, end); }, min_grain);
 }
 
 void parallel_for_each(std::size_t n, const std::function<void(std::size_t)>& body,

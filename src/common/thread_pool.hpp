@@ -59,11 +59,25 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Splits `[0, n)` into contiguous blocks and runs `body(begin, end)` on the
-/// shared pool. Falls back to inline execution for small `n` (grain control)
-/// or when already inside a pool worker (no nested parallelism).
+/// Number of blocks `parallel_for_blocks(n, ..., min_grain)` will use — 1
+/// when the range would run inline (small n, single worker, or nested under
+/// a pool worker). Lets callers preallocate per-block state (e.g. one
+/// tabular::InferenceWorkspace per block) before forking.
+std::size_t plan_blocks(std::size_t n, std::size_t min_grain = 1024);
+
+/// Splits `[0, n)` into `plan_blocks(n, min_grain)` contiguous blocks and
+/// runs `body(block, begin, end)` on the shared pool, with `block` the
+/// dense block index in [0, plan_blocks(...)). This is the ONLY fork-join
+/// entry point that may be reached from the inference batch split — called
+/// from inside a pool worker it degrades to one inline block, so kernels
+/// invoked underneath it stay serial (single-level threading, DESIGN.md §6).
 ///
 /// `body` must be safe to run concurrently on disjoint ranges.
+void parallel_for_blocks(std::size_t n,
+                         const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+                         std::size_t min_grain = 1024);
+
+/// Block variant without the block index.
 void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t min_grain = 1024);
 

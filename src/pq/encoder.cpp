@@ -10,12 +10,41 @@
 
 namespace dart::pq {
 
+void Encoder::encode_batch(const float* rows, std::size_t row_stride, std::size_t n,
+                           std::uint32_t* codes_out, std::size_t code_stride) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    codes_out[i * code_stride] = encode(rows + i * row_stride);
+  }
+}
+
 ExactEncoder::ExactEncoder(nn::Tensor prototypes) : prototypes_(std::move(prototypes)) {
   if (prototypes_.ndim() != 2) throw std::invalid_argument("ExactEncoder: prototypes must be 2-D");
+  const std::size_t k = prototypes_.dim(0), v = prototypes_.dim(1);
+  half_norms_.resize(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const float* p = prototypes_.row(c);
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < v; ++j) acc += p[j] * p[j];
+    half_norms_[c] = 0.5f * acc;
+  }
 }
 
 std::uint32_t ExactEncoder::encode(const float* row) const {
-  return nearest_centroid(row, prototypes_);
+  const std::size_t k = prototypes_.dim(0), v = prototypes_.dim(1);
+  const float* protos = prototypes_.data();
+  std::uint32_t best = 0;
+  float best_d = std::numeric_limits<float>::max();
+  for (std::size_t c = 0; c < k; ++c) {
+    const float* p = protos + c * v;
+    float dot = 0.0f;
+    for (std::size_t j = 0; j < v; ++j) dot += row[j] * p[j];
+    const float d = half_norms_[c] - dot;
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<std::uint32_t>(c);
+    }
+  }
+  return best;
 }
 
 HashTreeEncoder::HashTreeEncoder(const nn::Tensor& prototypes) {
@@ -25,17 +54,27 @@ HashTreeEncoder::HashTreeEncoder(const nn::Tensor& prototypes) {
   depth_ = 0;
   while ((1ULL << depth_) < k_) ++depth_;
   // Full heap with 2^depth leaves.
-  nodes_.assign((1ULL << (depth_ + 1)) - 1, Node{});
+  const std::size_t node_count = (1ULL << (depth_ + 1)) - 1;
+  hot_.assign(node_count, HotNode{});
+  protos_.assign(node_count, -1);
   std::vector<std::uint32_t> all(k_);
   std::iota(all.begin(), all.end(), 0);
   build(std::move(all), prototypes, 0);
+  // Uniform iff no leaf sits above the last level.
+  uniform_ = true;
+  const std::size_t internal = (1ULL << depth_) - 1;
+  for (std::size_t i = 0; i < internal; ++i) {
+    if (protos_[i] >= 0) {
+      uniform_ = false;
+      break;
+    }
+  }
 }
 
 void HashTreeEncoder::build(std::vector<std::uint32_t> protos, const nn::Tensor& prototypes,
                             std::size_t node_idx) {
-  Node& node = nodes_[node_idx];
-  if (protos.size() == 1 || 2 * node_idx + 2 >= nodes_.size()) {
-    node.proto = static_cast<std::int32_t>(protos.front());
+  if (protos.size() == 1 || 2 * node_idx + 2 >= protos_.size()) {
+    protos_[node_idx] = static_cast<std::int32_t>(protos.front());
     return;
   }
   // Pick the dimension with the largest variance among this node's protos.
@@ -60,9 +99,10 @@ void HashTreeEncoder::build(std::vector<std::uint32_t> protos, const nn::Tensor&
     return prototypes.at(a, best_dim) < prototypes.at(b, best_dim);
   });
   const std::size_t mid = protos.size() / 2;
-  node.split_dim = static_cast<std::uint32_t>(best_dim);
-  node.threshold =
+  hot_[node_idx].split_dim = static_cast<std::uint32_t>(best_dim);
+  hot_[node_idx].threshold =
       0.5f * (prototypes.at(protos[mid - 1], best_dim) + prototypes.at(protos[mid], best_dim));
+  protos_[node_idx] = -1;
   std::vector<std::uint32_t> left(protos.begin(), protos.begin() + mid);
   std::vector<std::uint32_t> right(protos.begin() + mid, protos.end());
   build(std::move(left), prototypes, 2 * node_idx + 1);
@@ -70,12 +110,58 @@ void HashTreeEncoder::build(std::vector<std::uint32_t> protos, const nn::Tensor&
 }
 
 std::uint32_t HashTreeEncoder::encode(const float* row) const {
-  std::size_t idx = 0;
-  while (nodes_[idx].proto < 0) {
-    const Node& n = nodes_[idx];
-    idx = row[n.split_dim] <= n.threshold ? 2 * idx + 1 : 2 * idx + 2;
+  const HotNode* hot = hot_.data();
+  if (uniform_) {
+    // Branchless fixed-depth walk: the step direction is an integer add.
+    std::size_t idx = 0;
+    for (std::size_t l = 0; l < depth_; ++l) {
+      const HotNode nd = hot[idx];
+      idx = 2 * idx + 1 + static_cast<std::size_t>(row[nd.split_dim] > nd.threshold);
+    }
+    return static_cast<std::uint32_t>(protos_[idx]);
   }
-  return static_cast<std::uint32_t>(nodes_[idx].proto);
+  std::size_t idx = 0;
+  while (protos_[idx] < 0) {
+    const HotNode nd = hot[idx];
+    idx = 2 * idx + 1 + static_cast<std::size_t>(row[nd.split_dim] > nd.threshold);
+  }
+  return static_cast<std::uint32_t>(protos_[idx]);
+}
+
+void HashTreeEncoder::encode_batch(const float* rows, std::size_t row_stride, std::size_t n,
+                                   std::uint32_t* codes_out, std::size_t code_stride) const {
+  const HotNode* hot = hot_.data();
+  const std::int32_t* leaf = protos_.data();
+  if (uniform_) {
+    // Level-synchronous walk over chunks of rows: the ~depth_ dependent
+    // loads of different rows interleave, hiding each other's latency.
+    constexpr std::size_t kChunk = 16;
+    std::size_t idx[kChunk];
+    for (std::size_t i0 = 0; i0 < n; i0 += kChunk) {
+      const std::size_t c = std::min(kChunk, n - i0);
+      for (std::size_t j = 0; j < c; ++j) idx[j] = 0;
+      for (std::size_t l = 0; l < depth_; ++l) {
+        for (std::size_t j = 0; j < c; ++j) {
+          const HotNode nd = hot[idx[j]];
+          const float x = rows[(i0 + j) * row_stride + nd.split_dim];
+          idx[j] = 2 * idx[j] + 1 + static_cast<std::size_t>(x > nd.threshold);
+        }
+      }
+      for (std::size_t j = 0; j < c; ++j) {
+        codes_out[(i0 + j) * code_stride] = static_cast<std::uint32_t>(leaf[idx[j]]);
+      }
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = rows + i * row_stride;
+    std::size_t idx = 0;
+    while (leaf[idx] < 0) {
+      const HotNode nd = hot[idx];
+      idx = 2 * idx + 1 + static_cast<std::size_t>(row[nd.split_dim] > nd.threshold);
+    }
+    codes_out[i * code_stride] = static_cast<std::uint32_t>(leaf[idx]);
+  }
 }
 
 std::unique_ptr<Encoder> make_encoder(EncoderKind kind, const nn::Tensor& prototypes) {

@@ -2,11 +2,17 @@
 // nearest prototype (the paper's g function, Eq. 7).
 //
 // Two implementations:
-//  * ExactEncoder — brute-force argmin over K prototypes (O(K·V)).
+//  * ExactEncoder — brute-force argmin over K prototypes (O(K·V)), evaluated
+//    in the dot-product form argmin_k (||P_k||²/2 − x·P_k) with the prototype
+//    half-norms precomputed at construction.
 //  * HashTreeEncoder — balanced binary decision tree over the prototypes
 //    with one scalar comparison per level (O(log K)), standing in for the
 //    locality-sensitive hashing of MADDNESS [24] that the paper's latency
-//    model assumes (Eq. 16: L_g = log K).
+//    model assumes (Eq. 16: L_g = log K). Stored as structure-of-arrays and
+//    walked iteratively.
+//
+// The batch entry point `encode_batch` is the inference hot path: one
+// virtual call per (subspace, block of rows) instead of one per token.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +31,13 @@ class Encoder {
   /// Index in [0, K) of the chosen prototype for `row` (length V).
   virtual std::uint32_t encode(const float* row) const = 0;
 
+  /// Encodes `n` rows starting at `rows`, consecutive rows `row_stride`
+  /// floats apart (so a subspace of a wider matrix can be encoded without
+  /// slicing). Writes codes to `codes_out[0], codes_out[code_stride], ...`.
+  /// Must produce exactly the same codes as per-row `encode`.
+  virtual void encode_batch(const float* rows, std::size_t row_stride, std::size_t n,
+                            std::uint32_t* codes_out, std::size_t code_stride = 1) const;
+
   virtual std::size_t num_prototypes() const = 0;
   virtual std::size_t vec_dim() const = 0;
 
@@ -37,6 +50,8 @@ class ExactEncoder final : public Encoder {
  public:
   explicit ExactEncoder(nn::Tensor prototypes);
 
+  // encode_batch: inherited per-row loop — the O(K·V) argmin dwarfs the
+  // virtual call, so a dedicated batch loop buys nothing here.
   std::uint32_t encode(const float* row) const override;
   std::size_t num_prototypes() const override { return prototypes_.dim(0); }
   std::size_t vec_dim() const override { return prototypes_.dim(1); }
@@ -48,6 +63,9 @@ class ExactEncoder final : public Encoder {
 
  private:
   nn::Tensor prototypes_;
+  // half_norms_[k] = ||P_k||²/2, so argmin_k ||x−P_k||² = argmin_k
+  // (half_norms_[k] − x·P_k): the ||x||² term is row-constant and drops out.
+  std::vector<float> half_norms_;
 };
 
 /// Balanced binary hash tree: each internal node compares one input
@@ -62,26 +80,32 @@ class HashTreeEncoder final : public Encoder {
   explicit HashTreeEncoder(const nn::Tensor& prototypes);
 
   std::uint32_t encode(const float* row) const override;
+  void encode_batch(const float* rows, std::size_t row_stride, std::size_t n,
+                    std::uint32_t* codes_out, std::size_t code_stride) const override;
   std::size_t num_prototypes() const override { return k_; }
   std::size_t vec_dim() const override { return v_; }
   std::size_t comparisons_per_encode() const override { return depth_; }
 
  private:
-  struct Node {
-    // Internal node: split dimension + threshold; children at 2i+1 / 2i+2
-    // in the flattened heap layout. Leaf: proto >= 0.
-    std::uint32_t split_dim = 0;
-    float threshold = 0.0f;
-    std::int32_t proto = -1;
-  };
-
   void build(std::vector<std::uint32_t> protos, const nn::Tensor& prototypes,
              std::size_t node_idx);
 
-  std::vector<Node> nodes_;
+  // Flattened heap (children of i at 2i+1/2i+2) split hot/cold: the walk
+  // touches only the 8-byte {split_dim, threshold} pairs; leaf prototype
+  // ids live in a separate array read once at the end. protos_[i] >= 0
+  // marks a leaf.
+  struct HotNode {
+    std::uint32_t split_dim = 0;
+    float threshold = 0.0f;
+  };
+  std::vector<HotNode> hot_;
+  std::vector<std::int32_t> protos_;
   std::size_t k_ = 0;
   std::size_t v_ = 0;
   std::size_t depth_ = 0;
+  // True when every leaf sits at exactly depth_ (K a power of two): the
+  // walk then needs no per-step leaf test and runs branchless.
+  bool uniform_ = false;
 };
 
 /// Factory choice used across the tabular stack.

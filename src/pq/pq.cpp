@@ -48,11 +48,10 @@ std::vector<std::uint32_t> ProductQuantizer::encode_all(const nn::Tensor& rows) 
   const std::size_t v = sub_dim();
   std::vector<std::uint32_t> codes(n * c_count);
   common::parallel_for(n, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const float* row = rows.row(i);
-      for (std::size_t c = 0; c < c_count; ++c) {
-        codes[i * c_count + c] = encoders_[c]->encode(row + c * v);
-      }
+    // One virtual call per (subspace, block) — not per row.
+    for (std::size_t c = 0; c < c_count; ++c) {
+      encoders_[c]->encode_batch(rows.row(r0) + c * v, dim_, r1 - r0,
+                                 codes.data() + r0 * c_count + c, c_count);
     }
   }, 64);
   return codes;

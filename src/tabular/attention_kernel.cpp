@@ -1,5 +1,6 @@
 #include "tabular/attention_kernel.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -60,7 +61,6 @@ AttentionKernel::AttentionKernel(const nn::Tensor& q, const nn::Tensor& k, const
   qk_table_.assign(config.ck * kp * kp, 0.0f);
   q_encoders_.resize(config.ck);
   k_encoders_.resize(config.ck);
-  std::vector<nn::Tensor> q_protos(config.ck), k_protos(config.ck);
   common::parallel_for_each(config.ck, [&](std::size_t c) {
     pq::KMeansOptions km;
     km.max_iters = config_.kmeans_iters;
@@ -71,8 +71,6 @@ AttentionKernel::AttentionKernel(const nn::Tensor& q, const nn::Tensor& k, const
     pairwise_dot(rq.centroids, rk.centroids, qk_table_.data() + c * kp * kp);
     q_encoders_[c] = pq::make_encoder(config_.encoder, rq.centroids);
     k_encoders_[c] = pq::make_encoder(config_.encoder, rk.centroids);
-    q_protos[c] = std::move(rq.centroids);
-    k_protos[c] = std::move(rk.centroids);
   }, 1);
 
   // ---- Approximate training scores via stage-1 lookups (Eq. 13) ---------
@@ -81,21 +79,20 @@ AttentionKernel::AttentionKernel(const nn::Tensor& q, const nn::Tensor& k, const
   nn::Tensor score_rows({n * t_len_, t_len_});
   const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
   common::parallel_for_each(n, [&](std::size_t s) {
-    std::vector<std::uint32_t> qc(t_len_ * config_.ck), kc(t_len_ * config_.ck);
-    for (std::size_t t = 0; t < t_len_; ++t) {
-      const float* qrow = q.data() + (s * t_len_ + t) * dk_;
-      const float* krow = k.data() + (s * t_len_ + t) * dk_;
-      for (std::size_t c = 0; c < config_.ck; ++c) {
-        qc[t * config_.ck + c] = q_encoders_[c]->encode(qrow + c * sub_dk_);
-        kc[t * config_.ck + c] = k_encoders_[c]->encode(krow + c * sub_dk_);
-      }
+    // SoA codes per subspace; one encode_batch per (subspace, sample).
+    std::vector<std::uint32_t> qc(config_.ck * t_len_), kc(config_.ck * t_len_);
+    const float* qbase = q.data() + s * t_len_ * dk_;
+    const float* kbase = k.data() + s * t_len_ * dk_;
+    for (std::size_t c = 0; c < config_.ck; ++c) {
+      q_encoders_[c]->encode_batch(qbase + c * sub_dk_, dk_, t_len_, qc.data() + c * t_len_);
+      k_encoders_[c]->encode_batch(kbase + c * sub_dk_, dk_, t_len_, kc.data() + c * t_len_);
     }
     for (std::size_t t1 = 0; t1 < t_len_; ++t1) {
       float* out = score_rows.row(s * t_len_ + t1);
       for (std::size_t t2 = 0; t2 < t_len_; ++t2) {
         float acc = 0.0f;
         for (std::size_t c = 0; c < config_.ck; ++c) {
-          acc += qk_table_[c * kp * kp + qc[t1 * config_.ck + c] * kp + kc[t2 * config_.ck + c]];
+          acc += qk_table_[c * kp * kp + qc[c * t_len_ + t1] * kp + kc[c * t_len_ + t2]];
         }
         out[t2] = acc;
       }
@@ -148,21 +145,116 @@ AttentionKernel::AttentionKernel(const nn::Tensor& q, const nn::Tensor& k, const
   }, 1);
 }
 
+void AttentionKernel::query_batch_into(const float* q, std::size_t q_stride, const float* k,
+                                       std::size_t k_stride, const float* v,
+                                       std::size_t v_stride, std::size_t n, float* out,
+                                       std::size_t out_stride, InferenceWorkspace& ws) const {
+  const std::size_t kp = config_.num_prototypes;
+  const std::size_t ck = config_.ck, ct = config_.ct;
+  const std::size_t rows = n * t_len_;   // Q/K/score rows across the block
+  const std::size_t vrows = n * dk_;     // V columns across the block
+  const auto m = ws.mark();
+
+  // ---- Stage 1: encode all samples' Q/K rows, one call per subspace -----
+  std::uint32_t* qc = ws.codes(ck * rows);
+  std::uint32_t* kc = ws.codes(ck * rows);
+  for (std::size_t c = 0; c < ck; ++c) {
+    q_encoders_[c]->encode_batch(q + c * sub_dk_, q_stride, rows, qc + c * rows);
+    k_encoders_[c]->encode_batch(k + c * sub_dk_, k_stride, rows, kc + c * rows);
+  }
+
+  // ---- Score matrices via QK lookups (Eq. 13), per sample ---------------
+  float* scores = ws.floats(rows * t_len_);
+  for (std::size_t s = 0; s < n; ++s) {
+    float* sbase = scores + s * t_len_ * t_len_;
+    for (std::size_t c = 0; c < ck; ++c) {
+      const float* tab = qk_table_.data() + c * kp * kp;
+      const std::uint32_t* qcc = qc + c * rows + s * t_len_;
+      const std::uint32_t* kcc = kc + c * rows + s * t_len_;
+      for (std::size_t t1 = 0; t1 < t_len_; ++t1) {
+        const float* trow = tab + qcc[t1] * kp;
+        float* srow = sbase + t1 * t_len_;
+        if (c == 0) {
+          for (std::size_t t2 = 0; t2 < t_len_; ++t2) srow[t2] = trow[kcc[t2]];
+        } else {
+          for (std::size_t t2 = 0; t2 < t_len_; ++t2) srow[t2] += trow[kcc[t2]];
+        }
+      }
+    }
+  }
+  if (config_.activation == AttentionActivation::kSoftmaxAtQuery) {
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
+    for (std::size_t t1 = 0; t1 < rows; ++t1) {
+      float* srow = scores + t1 * t_len_;
+      float mx = srow[0] * scale;
+      for (std::size_t t2 = 0; t2 < t_len_; ++t2) {
+        srow[t2] *= scale;
+        mx = std::max(mx, srow[t2]);
+      }
+      float denom = 0.0f;
+      for (std::size_t t2 = 0; t2 < t_len_; ++t2) {
+        srow[t2] = std::exp(srow[t2] - mx);
+        denom += srow[t2];
+      }
+      const float inv = 1.0f / denom;
+      for (std::size_t t2 = 0; t2 < t_len_; ++t2) srow[t2] *= inv;
+    }
+  }
+
+  // ---- Stage 2: encode all score rows and V columns ----------------------
+  std::uint32_t* sc = ws.codes(ct * rows);
+  std::uint32_t* vc = ws.codes(ct * vrows);
+  for (std::size_t c = 0; c < ct; ++c) {
+    s_encoders_[c]->encode_batch(scores + c * sub_t_, t_len_, rows, sc + c * rows);
+  }
+  // Transpose each sample's V to [Dk, T] so its columns become encoder rows.
+  float* vt = ws.floats(vrows * t_len_);
+  for (std::size_t s = 0; s < n; ++s) {
+    float* vts = vt + s * dk_ * t_len_;
+    const float* vs = v + s * t_len_ * v_stride;
+    for (std::size_t t = 0; t < t_len_; ++t) {
+      const float* vrow = vs + t * v_stride;
+      for (std::size_t d = 0; d < dk_; ++d) vts[d * t_len_ + t] = vrow[d];
+    }
+  }
+  for (std::size_t c = 0; c < ct; ++c) {
+    v_encoders_[c]->encode_batch(vt + c * sub_t_, t_len_, vrows, vc + c * vrows);
+  }
+
+  // ---- Final lookups + aggregation (Eq. 15), per sample ------------------
+  for (std::size_t s = 0; s < n; ++s) {
+    float* obase = out + s * t_len_ * out_stride;
+    for (std::size_t c = 0; c < ct; ++c) {
+      const float* tab = qkv_table_.data() + c * kp * kp;
+      const std::uint32_t* scc = sc + c * rows + s * t_len_;
+      const std::uint32_t* vcc = vc + c * vrows + s * dk_;
+      for (std::size_t t = 0; t < t_len_; ++t) {
+        const float* trow = tab + scc[t] * kp;
+        float* orow = obase + t * out_stride;
+        if (c == 0) {
+          for (std::size_t d = 0; d < dk_; ++d) orow[d] = trow[vcc[d]];
+        } else {
+          for (std::size_t d = 0; d < dk_; ++d) orow[d] += trow[vcc[d]];
+        }
+      }
+    }
+  }
+  ws.rewind(m);
+}
+
 nn::Tensor AttentionKernel::approx_scores(const nn::Tensor& q, const nn::Tensor& k) const {
   const std::size_t kp = config_.num_prototypes;
   nn::Tensor scores({t_len_, t_len_});
-  std::vector<std::uint32_t> qc(t_len_ * config_.ck), kc(t_len_ * config_.ck);
-  for (std::size_t t = 0; t < t_len_; ++t) {
-    for (std::size_t c = 0; c < config_.ck; ++c) {
-      qc[t * config_.ck + c] = q_encoders_[c]->encode(q.row(t) + c * sub_dk_);
-      kc[t * config_.ck + c] = k_encoders_[c]->encode(k.row(t) + c * sub_dk_);
-    }
+  std::vector<std::uint32_t> qc(config_.ck * t_len_), kc(config_.ck * t_len_);
+  for (std::size_t c = 0; c < config_.ck; ++c) {
+    q_encoders_[c]->encode_batch(q.data() + c * sub_dk_, dk_, t_len_, qc.data() + c * t_len_);
+    k_encoders_[c]->encode_batch(k.data() + c * sub_dk_, dk_, t_len_, kc.data() + c * t_len_);
   }
   for (std::size_t t1 = 0; t1 < t_len_; ++t1) {
     for (std::size_t t2 = 0; t2 < t_len_; ++t2) {
       float acc = 0.0f;
       for (std::size_t c = 0; c < config_.ck; ++c) {
-        acc += qk_table_[c * kp * kp + qc[t1 * config_.ck + c] * kp + kc[t2 * config_.ck + c]];
+        acc += qk_table_[c * kp * kp + qc[c * t_len_ + t1] * kp + kc[c * t_len_ + t2]];
       }
       scores.at(t1, t2) = acc;
     }
@@ -175,39 +267,9 @@ nn::Tensor AttentionKernel::query(const nn::Tensor& q, const nn::Tensor& k,
   if (q.ndim() != 2 || q.dim(0) != t_len_ || q.dim(1) != dk_) {
     throw std::invalid_argument("AttentionKernel::query: q must be [T, Dk]");
   }
-  const std::size_t kp = config_.num_prototypes;
-  nn::Tensor scores = approx_scores(q, k);
-  if (config_.activation == AttentionActivation::kSoftmaxAtQuery) {
-    const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
-    scores *= scale;
-    nn::ops::softmax_rows(scores);
-  }
-  // Second-stage encodings: score rows and V columns.
-  std::vector<std::uint32_t> sc(t_len_ * config_.ct), vc(dk_ * config_.ct);
-  for (std::size_t t = 0; t < t_len_; ++t) {
-    for (std::size_t c = 0; c < config_.ct; ++c) {
-      sc[t * config_.ct + c] = s_encoders_[c]->encode(scores.row(t) + c * sub_t_);
-    }
-  }
-  std::vector<float> vcol(t_len_);
-  for (std::size_t d = 0; d < dk_; ++d) {
-    for (std::size_t t = 0; t < t_len_; ++t) vcol[t] = v.at(t, d);
-    for (std::size_t c = 0; c < config_.ct; ++c) {
-      vc[d * config_.ct + c] = v_encoders_[c]->encode(vcol.data() + c * sub_t_);
-    }
-  }
-  // Final lookups + aggregation (Eq. 15).
   nn::Tensor out({t_len_, dk_});
-  for (std::size_t t = 0; t < t_len_; ++t) {
-    float* orow = out.row(t);
-    for (std::size_t d = 0; d < dk_; ++d) {
-      float acc = 0.0f;
-      for (std::size_t c = 0; c < config_.ct; ++c) {
-        acc += qkv_table_[c * kp * kp + sc[t * config_.ct + c] * kp + vc[d * config_.ct + c]];
-      }
-      orow[d] = acc;
-    }
-  }
+  query_into(q.data(), dk_, k.data(), dk_, v.data(), dk_, out.data(), dk_,
+             thread_local_workspace());
   return out;
 }
 

@@ -29,6 +29,7 @@
 #include "nn/tensor.hpp"
 #include "pq/encoder.hpp"
 #include "tabular/linear_kernel.hpp"
+#include "tabular/workspace.hpp"
 
 namespace dart::tabular {
 
@@ -54,6 +55,28 @@ class AttentionKernel {
   AttentionKernel(const nn::Tensor& q, const nn::Tensor& k, const nn::Tensor& v,
                   const AttentionKernelConfig& config);
 
+  /// Zero-allocation hot path: queries one sample whose q/k/v rows live at
+  /// `q + t*q_stride` etc. (so per-head slices of a packed [T, 3D] QKV
+  /// activation can be queried without split copies) and writes row t of
+  /// the [T, Dk] output at `out + t*out_stride`. Strictly serial; scratch
+  /// comes from `ws`.
+  void query_into(const float* q, std::size_t q_stride, const float* k, std::size_t k_stride,
+                  const float* v, std::size_t v_stride, float* out, std::size_t out_stride,
+                  InferenceWorkspace& ws) const {
+    query_batch_into(q, q_stride, k, k_stride, v, v_stride, 1, out, out_stride, ws);
+  }
+
+  /// Block variant: `n` consecutive samples whose q/k/v rows are uniformly
+  /// strided across the whole block (true for a packed [n*T, 3D] QKV
+  /// activation). All four encoder banks run ONE encode_batch per subspace
+  /// over the n*T (or n*Dk) rows; only the table-lookup aggregation loops
+  /// iterate per sample. Sample s's [T, Dk] output starts at
+  /// `out + s*T*out_stride`.
+  void query_batch_into(const float* q, std::size_t q_stride, const float* k,
+                        std::size_t k_stride, const float* v, std::size_t v_stride,
+                        std::size_t n, float* out, std::size_t out_stride,
+                        InferenceWorkspace& ws) const;
+
   /// Queries one sample: q/k/v are [T, Dk]; returns [T, Dk].
   nn::Tensor query(const nn::Tensor& q, const nn::Tensor& k, const nn::Tensor& v) const;
 
@@ -64,10 +87,27 @@ class AttentionKernel {
   std::size_t seq_len() const { return t_len_; }
   std::size_t head_dim() const { return dk_; }
 
+  /// Workspace demand of one single-sample `query_into` (floats, codes);
+  /// the block variant scales both by the sample count.
+  std::size_t float_slots() const { return t_len_ * t_len_ + dk_ * t_len_; }
+  std::size_t code_slots() const {
+    return 2 * config_.ck * t_len_ + config_.ct * (t_len_ + dk_);
+  }
+
   /// Total table storage in bytes: K^2 * (Ck + Ct) entries (Eq. 19's S_h).
   std::size_t table_bytes() const;
 
   const AttentionKernelConfig& config() const { return config_; }
+
+  // Raw tables and encoder banks (golden-reference tests). Layouts:
+  // qk_table()[c*K*K + i*K + j] = P^c_q,i · P^c_k,j,
+  // qkv_table()[c*K*K + i*K + j] = act(P^c_s,i / sqrt(Dk)) · P^c_v,j.
+  const std::vector<float>& qk_table() const { return qk_table_; }
+  const std::vector<float>& qkv_table() const { return qkv_table_; }
+  const pq::Encoder& q_encoder(std::size_t c) const { return *q_encoders_[c]; }
+  const pq::Encoder& k_encoder(std::size_t c) const { return *k_encoders_[c]; }
+  const pq::Encoder& s_encoder(std::size_t c) const { return *s_encoders_[c]; }
+  const pq::Encoder& v_encoder(std::size_t c) const { return *v_encoders_[c]; }
 
  private:
   AttentionKernelConfig config_;

@@ -35,9 +35,10 @@ nn::Tensor FusedKernel::query(const nn::Tensor& rows) const {
   const std::size_t t_len = rows.dim(0);
   nn::Tensor out({t_len, out_dim_});
   common::parallel_for(t_len, [&](std::size_t r0, std::size_t r1) {
+    std::vector<std::uint32_t> codes(r1 - r0);
+    encoder_->encode_batch(rows.row(r0), in_dim_, r1 - r0, codes.data());
     for (std::size_t t = r0; t < r1; ++t) {
-      const std::uint32_t code = encoder_->encode(rows.row(t));
-      const float* src = table_.row(code);
+      const float* src = table_.row(codes[t - r0]);
       std::copy(src, src + out_dim_, out.row(t));
     }
   }, 32);

@@ -1,5 +1,6 @@
 #include "tabular/linear_kernel.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/rng.hpp"
@@ -22,11 +23,12 @@ LinearKernel::LinearKernel(const nn::Tensor& weight, const nn::Tensor& bias,
   const std::size_t c_count = config.num_subspaces;
   const std::size_t m = training_rows.dim(0);
 
-  table_.assign(out_dim_ * c_count * k, 0.0f);
+  table_.assign(c_count * k * out_dim_, 0.0f);
   encoders_.resize(c_count);
 
   // Per-subspace prototype learning + table construction (Eq. 10).
-  // Subspaces are independent — parallelize across them.
+  // Subspaces are independent — parallelize across them. Each subspace owns
+  // the disjoint table block [c*K*DO, (c+1)*K*DO).
   common::parallel_for_each(c_count, [&](std::size_t c) {
     nn::Tensor sub({m, sub_dim_});
     for (std::size_t i = 0; i < m; ++i) {
@@ -38,19 +40,45 @@ LinearKernel::LinearKernel(const nn::Tensor& weight, const nn::Tensor& bias,
     km.seed = common::derive_seed(config_.seed, c);
     pq::KMeansResult res = pq::kmeans(sub, k, km);
     // h^c_o(W)_k = W_o,c · P_ck  (+ bias folded into subspace 0).
-    for (std::size_t o = 0; o < out_dim_; ++o) {
-      const float* wrow = weight.row(o) + c * sub_dim_;
-      float* trow = table_.data() + (o * c_count + c) * k;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float* proto = res.centroids.row(kk);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* proto = res.centroids.row(kk);
+      float* trow = table_.data() + (c * k + kk) * out_dim_;
+      for (std::size_t o = 0; o < out_dim_; ++o) {
+        const float* wrow = weight.row(o) + c * sub_dim_;
         float acc = 0.0f;
         for (std::size_t j = 0; j < sub_dim_; ++j) acc += wrow[j] * proto[j];
         if (c == 0) acc += bias[o];
-        trow[kk] = acc;
+        trow[o] = acc;
       }
     }
     encoders_[c] = pq::make_encoder(config_.encoder, res.centroids);
   }, 1);
+}
+
+void LinearKernel::query_into(const float* rows, std::size_t n, std::size_t row_stride,
+                              float* out, std::size_t out_stride,
+                              InferenceWorkspace& ws) const {
+  const std::size_t k = config_.num_prototypes;
+  const std::size_t c_count = config_.num_subspaces;
+  const auto m = ws.mark();
+  // Codes in subspace-major (SoA) order: codes[c * n + i].
+  std::uint32_t* codes = ws.codes(c_count * n);
+  for (std::size_t c = 0; c < c_count; ++c) {
+    encoders_[c]->encode_batch(rows + c * sub_dim_, row_stride, n, codes + c * n);
+  }
+  const float* tbl = table_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    float* orow = out + i * out_stride;
+    // Subspace 0 initializes (bias is folded there), the rest accumulate:
+    // C contiguous row-adds of length DO.
+    const float* t0 = tbl + codes[i] * out_dim_;
+    std::copy(t0, t0 + out_dim_, orow);
+    for (std::size_t c = 1; c < c_count; ++c) {
+      const float* tc = tbl + (c * k + codes[c * n + i]) * out_dim_;
+      for (std::size_t o = 0; o < out_dim_; ++o) orow[o] += tc[o];
+    }
+  }
+  ws.rewind(m);
 }
 
 nn::Tensor LinearKernel::query(const nn::Tensor& rows) const {
@@ -58,26 +86,12 @@ nn::Tensor LinearKernel::query(const nn::Tensor& rows) const {
     throw std::invalid_argument("LinearKernel::query: rows must be [T, DI]");
   }
   const std::size_t t_len = rows.dim(0);
-  const std::size_t k = config_.num_prototypes;
-  const std::size_t c_count = config_.num_subspaces;
   nn::Tensor out({t_len, out_dim_});
   // Encoding, lookups and aggregation per row are independent
-  // ("embarrassingly parallel" per §V-A2).
-  common::parallel_for(t_len, [&](std::size_t r0, std::size_t r1) {
-    std::vector<std::uint32_t> code(c_count);
-    for (std::size_t t = r0; t < r1; ++t) {
-      const float* row = rows.row(t);
-      for (std::size_t c = 0; c < c_count; ++c) {
-        code[c] = encoders_[c]->encode(row + c * sub_dim_);
-      }
-      float* orow = out.row(t);
-      for (std::size_t o = 0; o < out_dim_; ++o) {
-        const float* trow = table_.data() + o * c_count * k;
-        float acc = 0.0f;
-        for (std::size_t c = 0; c < c_count; ++c) acc += trow[c * k + code[c]];
-        orow[o] = acc;
-      }
-    }
+  // ("embarrassingly parallel" per §V-A2). One workspace per block.
+  common::parallel_for_blocks(t_len, [&](std::size_t, std::size_t r0, std::size_t r1) {
+    query_into(rows.row(r0), r1 - r0, in_dim_, out.row(r0), out_dim_,
+               thread_local_workspace());
   }, 16);
   return out;
 }

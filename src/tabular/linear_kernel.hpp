@@ -5,6 +5,11 @@
 // activations), then for every output channel o and subspace c the dot
 // products W_o,c · P_ck are precomputed. The bias is folded into subspace 0
 // so query-time aggregation adds it for free.
+//
+// Table layout is [C][K][DO] (DESIGN.md §6): the DO outputs of one
+// (subspace, prototype) pair are contiguous, so aggregation is C row-copies/
+// row-adds of length DO — auto-vectorizable streaming adds instead of the
+// DO×C strided gathers a [DO][C][K] layout forces.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,7 @@
 
 #include "nn/tensor.hpp"
 #include "pq/encoder.hpp"
+#include "tabular/workspace.hpp"
 
 namespace dart::tabular {
 
@@ -31,8 +37,16 @@ class LinearKernel {
   LinearKernel(const nn::Tensor& weight, const nn::Tensor& bias,
                const nn::Tensor& training_rows, const KernelConfig& config);
 
+  /// Zero-allocation hot path: applies the kernel to `n` rows starting at
+  /// `rows` (consecutive rows `row_stride` floats apart) and writes row i's
+  /// DO outputs at `out + i * out_stride`. Strictly serial — callers own
+  /// all parallelism (DESIGN.md §6) — and allocates only from `ws`.
+  void query_into(const float* rows, std::size_t n, std::size_t row_stride, float* out,
+                  std::size_t out_stride, InferenceWorkspace& ws) const;
+
   /// Applies the kernel to [T, DI] (or [M, DI]) rows -> [T, DO].
   /// Pure lookups + aggregation; no multiplications with weights.
+  /// Convenience wrapper over `query_into` that parallelizes across rows.
   nn::Tensor query(const nn::Tensor& rows) const;
 
   /// Applies to a 3-D activation [B, T, DI] -> [B, T, DO].
@@ -43,18 +57,27 @@ class LinearKernel {
   std::size_t num_prototypes() const { return config_.num_prototypes; }
   std::size_t num_subspaces() const { return config_.num_subspaces; }
 
+  /// Workspace code slots one `query_into` over `n` rows needs.
+  std::size_t code_slots(std::size_t n) const { return config_.num_subspaces * n; }
+
   /// Table storage in bytes (DO*K*C entries, 4 bytes each) — the S_h term
   /// of Eq. 18.
   std::size_t table_bytes() const;
 
   const KernelConfig& config() const { return config_; }
 
+  /// Raw table in [C][K][DO] layout: entry ((c*K)+k)*DO+o = W_o,c · P_ck
+  /// (+ b_o when c == 0). Exposed for the golden-reference tests.
+  const std::vector<float>& table() const { return table_; }
+  /// Per-subspace encoder (for the golden-reference tests).
+  const pq::Encoder& encoder(std::size_t c) const { return *encoders_[c]; }
+
  private:
   KernelConfig config_;
   std::size_t in_dim_;
   std::size_t out_dim_;
   std::size_t sub_dim_;
-  // table_[((o * C) + c) * K + k] = W_o,c · P_ck (+ b_o when c == 0).
+  // table_[((c * K) + k) * DO + o] = W_o,c · P_ck (+ b_o when c == 0).
   std::vector<float> table_;
   std::vector<std::unique_ptr<pq::Encoder>> encoders_;  ///< one per subspace
 };

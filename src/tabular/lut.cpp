@@ -1,6 +1,5 @@
 #include "tabular/lut.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 namespace dart::tabular {
@@ -9,24 +8,16 @@ SigmoidLut::SigmoidLut() {
   // Entry i holds sigmoid at the midpoint of its cell, halving the
   // worst-case quantization error vs sampling at cell edges.
   const float step = 2.0f * kRange / static_cast<float>(kEntries);
+  inv_step_ = 1.0f / step;
   for (std::size_t i = 0; i < kEntries; ++i) {
     const float x = -kRange + (static_cast<float>(i) + 0.5f) * step;
     table_[i] = 1.0f / (1.0f + std::exp(-x));
   }
 }
 
-float SigmoidLut::operator()(float x) const {
-  if (x <= -kRange) return 0.0f;
-  if (x >= kRange) return 1.0f;
-  const float step = 2.0f * kRange / static_cast<float>(kEntries);
-  auto idx = static_cast<std::size_t>((x + kRange) / step);
-  idx = std::min(idx, kEntries - 1);
-  return table_[idx];
-}
-
 nn::Tensor SigmoidLut::apply(const nn::Tensor& x) const {
   nn::Tensor out(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) out[i] = (*this)(x[i]);
+  apply_batch(x.data(), x.numel(), out.data());
   return out;
 }
 

@@ -1,7 +1,9 @@
 // Fixed lookup-table approximation of the output Sigmoid (Algorithm 1,
 // line 16; Meher [46]): uniform 256-entry table over [-8, 8], clamped
 // outside. One comparison + one lookup per scalar — no transcendentals at
-// query time.
+// query time. The inverse cell width is precomputed at construction and the
+// scalar operator is inline, so `apply_batch` compiles to a tight
+// multiply + clamp + gather loop.
 #pragma once
 
 #include <array>
@@ -19,7 +21,19 @@ class SigmoidLut {
   SigmoidLut();
 
   /// LUT-approximated sigmoid of a scalar.
-  float operator()(float x) const;
+  float operator()(float x) const {
+    if (x <= -kRange) return 0.0f;
+    if (x >= kRange) return 1.0f;
+    auto idx = static_cast<std::size_t>((x + kRange) * inv_step_);
+    if (idx >= kEntries) idx = kEntries - 1;
+    return table_[idx];
+  }
+
+  /// Applies elementwise to `n` scalars at `x`, writing to `out` (which may
+  /// alias `x` — used in-place on workspace buffers by the predictor).
+  void apply_batch(const float* x, std::size_t n, float* out) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = (*this)(x[i]);
+  }
 
   /// Applies elementwise to a tensor (out-of-place).
   nn::Tensor apply(const nn::Tensor& x) const;
@@ -32,6 +46,7 @@ class SigmoidLut {
 
  private:
   std::array<float, kEntries> table_{};
+  float inv_step_ = 0.0f;  ///< kEntries / (2*kRange), set once in the ctor
 };
 
 }  // namespace dart::tabular

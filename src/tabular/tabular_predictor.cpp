@@ -1,5 +1,6 @@
 #include "tabular/tabular_predictor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -7,93 +8,190 @@
 
 namespace dart::tabular {
 
+namespace {
+
+/// Copies a [rows, width] workspace buffer into a freshly shaped stage
+/// tensor (introspection path only — the hot path passes stages=nullptr).
+void push_stage(std::vector<nn::Tensor>* stages, const float* buf, std::size_t rows,
+                std::size_t width) {
+  if (stages == nullptr) return;
+  nn::Tensor t(rows <= 1 ? std::vector<std::size_t>{width}
+                         : std::vector<std::size_t>{rows, width});
+  std::copy(buf, buf + rows * width, t.data());
+  stages->push_back(std::move(t));
+}
+
+}  // namespace
+
 nn::Tensor LnParams::apply(const nn::Tensor& x) const {
-  const std::size_t d = gamma.numel();
-  const std::size_t m = x.numel() / d;
   nn::Tensor y(x.shape());
+  apply_into(x.data(), y.data(), x.numel() / gamma.numel());
+  return y;
+}
+
+void LnParams::apply_into(const float* x, float* y, std::size_t m) const {
+  const std::size_t d = gamma.numel();
+  const float* g = gamma.data();
+  const float* b = beta.data();
   for (std::size_t i = 0; i < m; ++i) {
-    const float* row = x.data() + i * d;
-    float* yrow = y.data() + i * d;
-    float mean = 0.0f;
-    for (std::size_t j = 0; j < d; ++j) mean += row[j];
+    const float* row = x + i * d;
+    float* yrow = y + i * d;
+    // 4-lane reductions: strict-FP serial sums chain at add latency; four
+    // independent accumulators pipeline (and match what a vectorized sum
+    // would compute, deterministically).
+    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+    std::size_t j = 0;
+    for (; j + 4 <= d; j += 4) {
+      s0 += row[j];
+      s1 += row[j + 1];
+      s2 += row[j + 2];
+      s3 += row[j + 3];
+    }
+    float mean = (s0 + s1) + (s2 + s3);
+    for (; j < d; ++j) mean += row[j];
     mean /= static_cast<float>(d);
-    float var = 0.0f;
-    for (std::size_t j = 0; j < d; ++j) {
+    float v0 = 0.0f, v1 = 0.0f, v2 = 0.0f, v3 = 0.0f;
+    j = 0;
+    for (; j + 4 <= d; j += 4) {
+      const float d0 = row[j] - mean, d1 = row[j + 1] - mean;
+      const float d2 = row[j + 2] - mean, d3 = row[j + 3] - mean;
+      v0 += d0 * d0;
+      v1 += d1 * d1;
+      v2 += d2 * d2;
+      v3 += d3 * d3;
+    }
+    float var = (v0 + v1) + (v2 + v3);
+    for (; j < d; ++j) {
       const float diff = row[j] - mean;
       var += diff * diff;
     }
     var /= static_cast<float>(d);
     const float inv = 1.0f / std::sqrt(var + eps);
-    for (std::size_t j = 0; j < d; ++j) {
-      yrow[j] = (row[j] - mean) * inv * gamma[j] + beta[j];
+    for (std::size_t jj = 0; jj < d; ++jj) {
+      yrow[jj] = (row[jj] - mean) * inv * g[jj] + b[jj];
     }
   }
-  return y;
+}
+
+TabularArch TabularPredictor::tabular_arch() const {
+  TabularArch ta;
+  ta.seq_len = arch_.seq_len;
+  ta.dim = arch_.dim;
+  ta.ffn_dim = arch_.ffn_dim;
+  ta.out_dim = arch_.out_dim;
+  ta.heads = arch_.heads;
+  ta.layers = arch_.layers;
+  const std::size_t t = ta.seq_len;
+  // Persistent per-sample activations: x, scratch, qkv, concat, hidden,
+  // per-token head output (see forward_sample_into). Attention adds a
+  // transient score matrix + transposed V per head.
+  ta.float_slots = t * (2 * ta.dim + 3 * ta.dim + ta.dim + ta.ffn_dim + ta.out_dim) +
+                   ta.out_dim + t * t + ta.head_dim() * t + 64;
+  // Codes are transient per kernel call (mark/rewind), so the demand is the
+  // max over kernels, not the sum.
+  std::size_t codes = 0;
+  auto linear = [&codes, t](const std::unique_ptr<LinearKernel>& k) {
+    if (k) codes = std::max(codes, k->code_slots(t));
+  };
+  linear(addr_kernel);
+  linear(pc_kernel);
+  for (const auto& layer : layers) {
+    linear(layer.qkv);
+    for (const auto& h : layer.heads) {
+      if (h) codes = std::max(codes, h->code_slots());
+    }
+    linear(layer.out_proj);
+    linear(layer.ffn_hidden);
+    linear(layer.ffn_out);
+  }
+  linear(head_kernel);
+  ta.code_slots = codes + 16;
+  return ta;
+}
+
+void TabularPredictor::forward_block_into(const float* addr, const float* pc, std::size_t n,
+                                          float* probs_out, InferenceWorkspace& ws,
+                                          std::vector<nn::Tensor>* stages) const {
+  const std::size_t t_len = arch_.seq_len;
+  const std::size_t d = arch_.dim;
+  const std::size_t dh = d / arch_.heads;
+  const std::size_t rows = n * t_len;  // all kernels operate row-wise
+  if (n != 1) stages = nullptr;
+  const auto frame = ws.mark();
+
+  // Embedding: two linear kernels over all rows + positional encoding
+  // (broadcast per sample), summed in place.
+  float* x = ws.floats(rows * d);
+  float* tmp = ws.floats(rows * d);  // reused for attention/FFN outputs
+  addr_kernel->query_into(addr, rows, arch_.addr_dim, x, d, ws);
+  pc_kernel->query_into(pc, rows, arch_.pc_dim, tmp, d, ws);
+  const float* pos = pos_encoding.data();
+  for (std::size_t s = 0; s < n; ++s) {
+    float* xs = x + s * t_len * d;
+    const float* ts = tmp + s * t_len * d;
+    for (std::size_t i = 0; i < t_len * d; ++i) xs[i] += ts[i] + pos[i];
+  }
+  push_stage(stages, x, t_len, d);
+
+  for (const auto& layer : layers) {
+    const auto layer_frame = ws.mark();
+    // Packed QKV projection [n*T, 3D]; heads query strided views of it —
+    // no q/k/v split copies.
+    float* qkv = ws.floats(rows * 3 * d);
+    layer.qkv->query_into(x, rows, d, qkv, 3 * d, ws);
+    push_stage(stages, qkv, t_len, 3 * d);
+    float* concat = ws.floats(rows * d);
+    for (std::size_t h = 0; h < layer.heads.size(); ++h) {
+      layer.heads[h]->query_batch_into(qkv + h * dh, 3 * d,          // q
+                                       qkv + d + h * dh, 3 * d,      // k
+                                       qkv + 2 * d + h * dh, 3 * d,  // v
+                                       n, concat + h * dh, d, ws);
+    }
+    push_stage(stages, concat, t_len, d);
+    // Output projection + residual + LN1 (normalized back into x).
+    layer.out_proj->query_into(concat, rows, d, tmp, d, ws);
+    for (std::size_t i = 0; i < rows * d; ++i) tmp[i] += x[i];
+    layer.ln1.apply_into(tmp, x, rows);
+    push_stage(stages, x, t_len, d);
+    // FFN: hidden kernel -> exact ReLU -> output kernel + residual + LN2.
+    float* hidden = ws.floats(rows * arch_.ffn_dim);
+    layer.ffn_hidden->query_into(x, rows, d, hidden, arch_.ffn_dim, ws);
+    for (std::size_t i = 0; i < rows * arch_.ffn_dim; ++i) {
+      hidden[i] = hidden[i] > 0.0f ? hidden[i] : 0.0f;
+    }
+    layer.ffn_out->query_into(hidden, rows, arch_.ffn_dim, tmp, d, ws);
+    for (std::size_t i = 0; i < rows * d; ++i) tmp[i] += x[i];
+    layer.ln2.apply_into(tmp, x, rows);
+    push_stage(stages, x, t_len, d);
+    ws.rewind(layer_frame);
+  }
+
+  final_ln.apply_into(x, x, rows);
+  const std::size_t out_d = arch_.out_dim;
+  float* per_token = ws.floats(rows * out_d);
+  head_kernel->query_into(x, rows, d, per_token, out_d, ws);
+  // Mean pool + sigmoid LUT, per sample.
+  const float inv_t = 1.0f / static_cast<float>(t_len);
+  for (std::size_t s = 0; s < n; ++s) {
+    float* probs = probs_out + s * out_d;
+    const float* pt = per_token + s * t_len * out_d;
+    for (std::size_t j = 0; j < out_d; ++j) probs[j] = 0.0f;
+    for (std::size_t t = 0; t < t_len; ++t) {
+      const float* row = pt + t * out_d;
+      for (std::size_t j = 0; j < out_d; ++j) probs[j] += row[j] * inv_t;
+    }
+    push_stage(stages, probs, 1, out_d);
+    sigmoid_lut.apply_batch(probs, out_d, probs);
+  }
+  ws.rewind(frame);
 }
 
 nn::Tensor TabularPredictor::forward_sample(const nn::Tensor& addr, const nn::Tensor& pc,
                                             std::vector<nn::Tensor>* stages) const {
-  const std::size_t t_len = arch_.seq_len;
-  const std::size_t d = arch_.dim;
-  const std::size_t dh = d / arch_.heads;
-
-  // Embedding: two linear kernels + positional encoding.
-  nn::Tensor x = addr_kernel->query(addr);
-  nn::Tensor xp = pc_kernel->query(pc);
-  x += xp;
-  x += pos_encoding;
-  if (stages != nullptr) stages->push_back(x);
-
-  for (const auto& layer : layers) {
-    nn::Tensor qkv = layer.qkv->query(x);  // [T, 3D]
-    if (stages != nullptr) stages->push_back(qkv);
-    // Per-head attention kernel queries.
-    nn::Tensor concat({t_len, d});
-    for (std::size_t h = 0; h < layer.heads.size(); ++h) {
-      nn::Tensor q({t_len, dh}), k({t_len, dh}), v({t_len, dh});
-      for (std::size_t t = 0; t < t_len; ++t) {
-        const float* row = qkv.row(t);
-        for (std::size_t j = 0; j < dh; ++j) {
-          q.at(t, j) = row[h * dh + j];
-          k.at(t, j) = row[d + h * dh + j];
-          v.at(t, j) = row[2 * d + h * dh + j];
-        }
-      }
-      nn::Tensor o = layer.heads[h]->query(q, k, v);
-      for (std::size_t t = 0; t < t_len; ++t) {
-        float* dst = concat.row(t) + h * dh;
-        const float* src = o.row(t);
-        for (std::size_t j = 0; j < dh; ++j) dst[j] = src[j];
-      }
-    }
-    if (stages != nullptr) stages->push_back(concat);
-    nn::Tensor attn_out = layer.out_proj->query(concat);
-    attn_out += x;  // residual
-    x = layer.ln1.apply(attn_out);
-    if (stages != nullptr) stages->push_back(x);
-    // FFN: hidden kernel -> exact ReLU -> output kernel.
-    nn::Tensor hidden = layer.ffn_hidden->query(x);
-    for (std::size_t i = 0; i < hidden.numel(); ++i) {
-      hidden[i] = hidden[i] > 0.0f ? hidden[i] : 0.0f;
-    }
-    nn::Tensor ffn = layer.ffn_out->query(hidden);
-    ffn += x;  // residual
-    x = layer.ln2.apply(ffn);
-    if (stages != nullptr) stages->push_back(x);
-  }
-
-  x = final_ln.apply(x);
-  nn::Tensor per_token = head_kernel->query(x);  // [T, DO]
-  // Mean pool + sigmoid LUT.
-  const std::size_t out_d = arch_.out_dim;
-  nn::Tensor probs({out_d});
-  const float inv_t = 1.0f / static_cast<float>(t_len);
-  for (std::size_t t = 0; t < t_len; ++t) {
-    const float* row = per_token.row(t);
-    for (std::size_t j = 0; j < out_d; ++j) probs[j] += row[j] * inv_t;
-  }
-  if (stages != nullptr) stages->push_back(probs);
-  for (std::size_t j = 0; j < out_d; ++j) probs[j] = sigmoid_lut(probs[j]);
+  nn::Tensor probs({arch_.out_dim});
+  // No ensure(): the thread-local arena grows to the peak demand on the
+  // first call and is a pure bump allocator afterwards.
+  forward_sample_into(addr.data(), pc.data(), probs.data(), thread_local_workspace(), stages);
   return probs;
 }
 
@@ -104,12 +202,28 @@ nn::Tensor TabularPredictor::forward(const nn::Tensor& addr, const nn::Tensor& p
   const std::size_t sa = addr.dim(2);
   const std::size_t sp = pc.dim(2);
   nn::Tensor out({b_sz, arch_.out_dim});
-  common::parallel_for_each(b_sz, [&](std::size_t b) {
-    nn::Tensor a({t_len, sa}), p({t_len, sp});
-    std::copy(addr.data() + b * t_len * sa, addr.data() + (b + 1) * t_len * sa, a.data());
-    std::copy(pc.data() + b * t_len * sp, pc.data() + (b + 1) * t_len * sp, p.data());
-    nn::Tensor probs = forward_sample(a, p);
-    std::copy(probs.data(), probs.data() + arch_.out_dim, out.row(b));
+  if (b_sz == 0) return out;
+  // Layer-major sub-blocks of at most 16 samples: long enough to amortize
+  // encoder calls (128+ rows each), small enough that the activation
+  // buffers stay L2-resident — larger blocks measurably degrade (the seed's
+  // "slower past batch 16" effect was this spill).
+  constexpr std::size_t kMaxBlockSamples = 16;
+  TabularArch ta = tabular_arch();
+  const std::size_t nb = common::plan_blocks(b_sz, 1);
+  const std::size_t per_block = std::min(kMaxBlockSamples, (b_sz + nb - 1) / nb);
+  ta.float_slots *= per_block;
+  ta.code_slots *= per_block;
+  // The single top-level batch split (DESIGN.md §6): every kernel invoked
+  // below this fork is serial, so the pool is never oversubscribed by
+  // nested parallel_for calls.
+  common::parallel_for_blocks(b_sz, [&](std::size_t, std::size_t b0, std::size_t b1) {
+    InferenceWorkspace& ws = thread_local_workspace();
+    ws.ensure(ta);
+    for (std::size_t s0 = b0; s0 < b1; s0 += kMaxBlockSamples) {
+      const std::size_t bn = std::min(kMaxBlockSamples, b1 - s0);
+      forward_block_into(addr.data() + s0 * t_len * sa, pc.data() + s0 * t_len * sp, bn,
+                         out.row(s0), ws);
+    }
   }, 1);
   return out;
 }

@@ -2,6 +2,13 @@
 // mirror of nn::AddressPredictor in which every matrix multiplication has
 // been replaced by a tabularization kernel. LayerNorms stay arithmetic
 // (Algorithm 1, line 18) and the output sigmoid is a fixed LUT (line 16).
+//
+// Query-path design (DESIGN.md §6): the hot path is
+// `forward_sample_into(addr, pc, probs, ws)` — raw pointers in, raw
+// pointers out, all scratch from a per-thread `InferenceWorkspace`, zero
+// heap allocations and zero tensor copies (per-head q/k/v are strided views
+// into the packed QKV activation). `forward` is the ONLY place that forks
+// the thread pool; every kernel underneath runs serial.
 #pragma once
 
 #include <memory>
@@ -13,6 +20,7 @@
 #include "tabular/attention_kernel.hpp"
 #include "tabular/linear_kernel.hpp"
 #include "tabular/lut.hpp"
+#include "tabular/workspace.hpp"
 
 namespace dart::tabular {
 
@@ -24,6 +32,10 @@ struct LnParams {
 
   /// Row-wise normalization of the last dimension.
   nn::Tensor apply(const nn::Tensor& x) const;
+
+  /// Normalizes `m` rows of width `gamma.numel()` from `x` into `y`
+  /// (in-place safe: `y` may equal `x`).
+  void apply_into(const float* x, float* y, std::size_t m) const;
 };
 
 /// One tabularized encoder layer.
@@ -42,14 +54,38 @@ class TabularPredictor {
   explicit TabularPredictor(const nn::ModelConfig& arch) : arch_(arch) {}
 
   /// Batched query: [B,T,S] segmented addr + pc -> probabilities [B, DO]
-  /// (post-sigmoid-LUT). Samples are independent and processed in parallel.
+  /// (post-sigmoid-LUT). The single top-level batch split: samples run in
+  /// parallel on the shared pool, each on a per-thread workspace.
   nn::Tensor forward(const nn::Tensor& addr, const nn::Tensor& pc) const;
+
+  /// Zero-allocation layer-major block query: `n` samples' [T, S] inputs,
+  /// contiguous, at `addr`/`pc`; writes n*DO probabilities to `probs_out`.
+  /// Every linear kernel runs ONCE over all n*T rows (encoders see long
+  /// batches, aggregation loops stream), only the attention heads iterate
+  /// per sample. Serial; safe to call concurrently with distinct
+  /// workspaces. `stages` is honored for n == 1 only.
+  void forward_block_into(const float* addr, const float* pc, std::size_t n, float* probs_out,
+                          InferenceWorkspace& ws,
+                          std::vector<nn::Tensor>* stages = nullptr) const;
+
+  /// Zero-allocation single-sample query. `addr`/`pc` point at one sample's
+  /// [T, S] rows (contiguous), `probs_out` receives DO probabilities.
+  /// Serial; safe to call concurrently with distinct workspaces.
+  void forward_sample_into(const float* addr, const float* pc, float* probs_out,
+                           InferenceWorkspace& ws,
+                           std::vector<nn::Tensor>* stages = nullptr) const {
+    forward_block_into(addr, pc, 1, probs_out, ws, stages);
+  }
 
   /// Single-sample query exposing the per-stage activations; `stages`
   /// receives one [T, D]-shaped tensor per stage (used for the Fig. 11
   /// cosine-similarity analysis).
   nn::Tensor forward_sample(const nn::Tensor& addr, const nn::Tensor& pc,
                             std::vector<nn::Tensor>* stages = nullptr) const;
+
+  /// Shape + workspace-demand summary used to size `InferenceWorkspace`s
+  /// once, before the batch split.
+  TabularArch tabular_arch() const;
 
   /// Total table storage in bytes (tables + sigmoid LUT + LN params).
   std::size_t storage_bytes() const;

@@ -1,0 +1,26 @@
+#include "tabular/workspace.hpp"
+
+namespace dart::tabular {
+
+void InferenceWorkspace::ensure(const TabularArch& arch) {
+  // Guarantee one chunk large enough for the whole declared demand, so the
+  // steady state allocates from a single contiguous slab even when the
+  // workspace was first warmed by a smaller demand (existing chunks never
+  // move; the bump allocator skips the ones that are too small).
+  auto grow = [](auto& slab, std::size_t slots) {
+    if (slots == 0) return;
+    for (std::size_t cap : slab.capacities_) {
+      if (cap >= slots) return;
+    }
+    slab.add_chunk(slots);
+  };
+  grow(float_slab_, arch.float_slots);
+  grow(code_slab_, arch.code_slots);
+}
+
+InferenceWorkspace& thread_local_workspace() {
+  thread_local InferenceWorkspace ws;
+  return ws;
+}
+
+}  // namespace dart::tabular

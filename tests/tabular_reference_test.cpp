@@ -1,0 +1,291 @@
+// Golden equivalence tests for the zero-allocation tabular inference engine:
+// a deliberately naive reference implementation (scalar per-row encodes,
+// per-output gather aggregation over the exposed [C][K][DO] table) must match
+// the optimized batch path bit-for-bit practically (<= 1e-6), across both the
+// exact and hash-tree encoders, for the linear kernel, the attention kernel,
+// and a seeded end-to-end TabularPredictor::forward.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/configs.hpp"
+#include "nn/transformer.hpp"
+#include "tabular/attention_kernel.hpp"
+#include "tabular/linear_kernel.hpp"
+#include "tabular/tabular_predictor.hpp"
+#include "tabular/tabularizer.hpp"
+
+namespace dart::tabular {
+namespace {
+
+// ---------------------------------------------------------------- references
+
+/// Naive LinearKernel::query: scalar encode per (row, subspace), then a
+/// per-output gather over the table — the pre-optimization access pattern,
+/// expressed against the documented [C][K][DO] layout.
+nn::Tensor naive_linear_query(const LinearKernel& kernel, const nn::Tensor& rows) {
+  const std::size_t n = rows.dim(0);
+  const std::size_t di = kernel.in_dim();
+  const std::size_t dout = kernel.out_dim();
+  const std::size_t c_count = kernel.num_subspaces();
+  const std::size_t k = kernel.num_prototypes();
+  const std::size_t sub = di / c_count;
+  const std::vector<float>& table = kernel.table();
+  nn::Tensor out({n, dout});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::uint32_t> code(c_count);
+    for (std::size_t c = 0; c < c_count; ++c) {
+      code[c] = kernel.encoder(c).encode(rows.row(i) + c * sub);
+    }
+    for (std::size_t o = 0; o < dout; ++o) {
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < c_count; ++c) {
+        acc += table[(c * k + code[c]) * dout + o];
+      }
+      out.at(i, o) = acc;
+    }
+  }
+  return out;
+}
+
+/// Naive AttentionKernel::query (sigmoid-folded mode): scalar encodes,
+/// gather aggregation, explicit V-column slices.
+nn::Tensor naive_attention_query(const AttentionKernel& kernel, const nn::Tensor& q,
+                                 const nn::Tensor& k, const nn::Tensor& v) {
+  const std::size_t t_len = kernel.seq_len();
+  const std::size_t dk = kernel.head_dim();
+  const std::size_t kp = kernel.config().num_prototypes;
+  const std::size_t ck = kernel.config().ck;
+  const std::size_t ct = kernel.config().ct;
+  const std::size_t sub_dk = dk / ck;
+  const std::size_t sub_t = t_len / ct;
+  // Stage 1: scores from the QK table.
+  nn::Tensor scores({t_len, t_len});
+  std::vector<std::uint32_t> qc(t_len * ck), kc(t_len * ck);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t c = 0; c < ck; ++c) {
+      qc[t * ck + c] = kernel.q_encoder(c).encode(q.row(t) + c * sub_dk);
+      kc[t * ck + c] = kernel.k_encoder(c).encode(k.row(t) + c * sub_dk);
+    }
+  }
+  for (std::size_t t1 = 0; t1 < t_len; ++t1) {
+    for (std::size_t t2 = 0; t2 < t_len; ++t2) {
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < ck; ++c) {
+        acc += kernel.qk_table()[c * kp * kp + qc[t1 * ck + c] * kp + kc[t2 * ck + c]];
+      }
+      scores.at(t1, t2) = acc;
+    }
+  }
+  // Stage 2: encode score rows and V columns, aggregate from the QKV table.
+  std::vector<std::uint32_t> sc(t_len * ct), vc(dk * ct);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t c = 0; c < ct; ++c) {
+      sc[t * ct + c] = kernel.s_encoder(c).encode(scores.row(t) + c * sub_t);
+    }
+  }
+  std::vector<float> vcol(t_len);
+  for (std::size_t d = 0; d < dk; ++d) {
+    for (std::size_t t = 0; t < t_len; ++t) vcol[t] = v.at(t, d);
+    for (std::size_t c = 0; c < ct; ++c) {
+      vc[d * ct + c] = kernel.v_encoder(c).encode(vcol.data() + c * sub_t);
+    }
+  }
+  nn::Tensor out({t_len, dk});
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t d = 0; d < dk; ++d) {
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < ct; ++c) {
+        acc += kernel.qkv_table()[c * kp * kp + sc[t * ct + c] * kp + vc[d * ct + c]];
+      }
+      out.at(t, d) = acc;
+    }
+  }
+  return out;
+}
+
+/// Naive TabularPredictor::forward_sample: Tensor arithmetic mirroring the
+/// optimized raw-pointer path, built on the naive kernel references above.
+nn::Tensor naive_forward_sample(const TabularPredictor& tab, const nn::Tensor& addr,
+                                const nn::Tensor& pc) {
+  const std::size_t t_len = tab.arch().seq_len;
+  const std::size_t d = tab.arch().dim;
+  const std::size_t dh = d / tab.arch().heads;
+  nn::Tensor x = naive_linear_query(*tab.addr_kernel, addr);
+  nn::Tensor xp = naive_linear_query(*tab.pc_kernel, pc);
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] += xp[i] + tab.pos_encoding[i];
+  for (const auto& layer : tab.layers) {
+    nn::Tensor qkv = naive_linear_query(*layer.qkv, x);
+    nn::Tensor concat({t_len, d});
+    for (std::size_t h = 0; h < layer.heads.size(); ++h) {
+      nn::Tensor q({t_len, dh}), k({t_len, dh}), v({t_len, dh});
+      for (std::size_t t = 0; t < t_len; ++t) {
+        const float* row = qkv.row(t);
+        for (std::size_t j = 0; j < dh; ++j) {
+          q.at(t, j) = row[h * dh + j];
+          k.at(t, j) = row[d + h * dh + j];
+          v.at(t, j) = row[2 * d + h * dh + j];
+        }
+      }
+      nn::Tensor o = naive_attention_query(*layer.heads[h], q, k, v);
+      for (std::size_t t = 0; t < t_len; ++t) {
+        for (std::size_t j = 0; j < dh; ++j) concat.at(t, h * dh + j) = o.at(t, j);
+      }
+    }
+    nn::Tensor attn = naive_linear_query(*layer.out_proj, concat);
+    attn += x;
+    x = layer.ln1.apply(attn);
+    nn::Tensor hidden = naive_linear_query(*layer.ffn_hidden, x);
+    for (std::size_t i = 0; i < hidden.numel(); ++i) {
+      hidden[i] = hidden[i] > 0.0f ? hidden[i] : 0.0f;
+    }
+    nn::Tensor ffn = naive_linear_query(*layer.ffn_out, hidden);
+    ffn += x;
+    x = layer.ln2.apply(ffn);
+  }
+  x = tab.final_ln.apply(x);
+  nn::Tensor per_token = naive_linear_query(*tab.head_kernel, x);
+  nn::Tensor probs({tab.arch().out_dim});
+  const float inv_t = 1.0f / static_cast<float>(t_len);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t j = 0; j < tab.arch().out_dim; ++j) {
+      probs[j] += per_token.at(t, j) * inv_t;
+    }
+  }
+  for (std::size_t j = 0; j < probs.numel(); ++j) probs[j] = tab.sigmoid_lut(probs[j]);
+  return probs;
+}
+
+// -------------------------------------------------------------------- fixtures
+
+class LinearKernelGolden : public ::testing::TestWithParam<pq::EncoderKind> {};
+
+TEST_P(LinearKernelGolden, OptimizedMatchesNaiveReference) {
+  const std::size_t di = 16, dout = 24, n = 200;
+  nn::Tensor w = nn::Tensor::randn({dout, di}, 0.8f, 101);
+  nn::Tensor b = nn::Tensor::randn({dout}, 0.5f, 102);
+  nn::Tensor train = nn::Tensor::randn({256, di}, 1.0f, 103);
+  KernelConfig cfg;
+  cfg.num_prototypes = 32;
+  cfg.num_subspaces = 4;
+  cfg.encoder = GetParam();
+  LinearKernel kernel(w, b, train, cfg);
+  nn::Tensor probe = nn::Tensor::randn({n, di}, 1.1f, 104);
+  nn::Tensor fast = kernel.query(probe);
+  nn::Tensor ref = naive_linear_query(kernel, probe);
+  for (std::size_t i = 0; i < fast.numel(); ++i) {
+    EXPECT_NEAR(fast[i], ref[i], 1e-6f) << "mismatch at flat index " << i;
+  }
+}
+
+TEST_P(LinearKernelGolden, EncodeBatchMatchesScalarEncode) {
+  nn::Tensor train = nn::Tensor::randn({300, 12}, 1.0f, 105);
+  KernelConfig cfg;
+  cfg.num_prototypes = 16;
+  cfg.num_subspaces = 3;
+  cfg.encoder = GetParam();
+  nn::Tensor w = nn::Tensor::randn({5, 12}, 1.0f, 106);
+  nn::Tensor b({5});
+  LinearKernel kernel(w, b, train, cfg);
+  nn::Tensor probe = nn::Tensor::randn({64, 12}, 1.3f, 107);
+  for (std::size_t c = 0; c < cfg.num_subspaces; ++c) {
+    const pq::Encoder& enc = kernel.encoder(c);
+    std::vector<std::uint32_t> batch(probe.dim(0));
+    enc.encode_batch(probe.data() + c * 4, 12, probe.dim(0), batch.data());
+    for (std::size_t i = 0; i < probe.dim(0); ++i) {
+      EXPECT_EQ(batch[i], enc.encode(probe.row(i) + c * 4)) << "row " << i << " subspace " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Encoders, LinearKernelGolden,
+                         ::testing::Values(pq::EncoderKind::kExact, pq::EncoderKind::kHashTree));
+
+class AttentionKernelGolden : public ::testing::TestWithParam<pq::EncoderKind> {};
+
+TEST_P(AttentionKernelGolden, OptimizedMatchesNaiveReference) {
+  const std::size_t n = 128, t = 8, dk = 8;
+  nn::Tensor q = nn::Tensor::randn({n, t, dk}, 0.9f, 111);
+  nn::Tensor k = nn::Tensor::randn({n, t, dk}, 0.9f, 112);
+  nn::Tensor v = nn::Tensor::randn({n, t, dk}, 0.9f, 113);
+  AttentionKernelConfig cfg;
+  cfg.num_prototypes = 32;
+  cfg.ck = 2;
+  cfg.ct = 2;
+  cfg.kmeans_iters = 8;
+  cfg.encoder = GetParam();
+  AttentionKernel kernel(q, k, v, cfg);
+  for (std::size_t s = 0; s < 8; ++s) {
+    nn::Tensor qs({t, dk}), ks({t, dk}), vs({t, dk});
+    std::copy(q.data() + s * t * dk, q.data() + (s + 1) * t * dk, qs.data());
+    std::copy(k.data() + s * t * dk, k.data() + (s + 1) * t * dk, ks.data());
+    std::copy(v.data() + s * t * dk, v.data() + (s + 1) * t * dk, vs.data());
+    nn::Tensor fast = kernel.query(qs, ks, vs);
+    nn::Tensor ref = naive_attention_query(kernel, qs, ks, vs);
+    for (std::size_t i = 0; i < fast.numel(); ++i) {
+      EXPECT_NEAR(fast[i], ref[i], 1e-6f) << "sample " << s << " flat index " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Encoders, AttentionKernelGolden,
+                         ::testing::Values(pq::EncoderKind::kExact, pq::EncoderKind::kHashTree));
+
+class EndToEndGolden : public ::testing::TestWithParam<pq::EncoderKind> {};
+
+TEST_P(EndToEndGolden, BatchedForwardMatchesNaiveReference) {
+  // Seeded, untrained model — tabularize exercises the real builder path.
+  nn::ModelConfig arch = core::paper_student_config();
+  nn::AddressPredictor model(arch, /*seed=*/42);
+  const std::size_t n = 96;
+  nn::Tensor addr = nn::Tensor::randn({n, arch.seq_len, arch.addr_dim}, 1.0f, 121);
+  nn::Tensor pc = nn::Tensor::randn({n, arch.seq_len, arch.pc_dim}, 1.0f, 122);
+  TabularizeOptions opt;
+  opt.tables = TableConfig::uniform(16, 2);
+  opt.fine_tune = false;
+  opt.kmeans_iters = 4;
+  opt.max_train_samples = 96;
+  opt.encoder = GetParam();
+  TabularPredictor tab = tabularize(model, addr, pc, opt);
+
+  const std::size_t b_sz = 12;
+  nn::Tensor probe_addr = nn::Tensor::randn({b_sz, arch.seq_len, arch.addr_dim}, 1.0f, 123);
+  nn::Tensor probe_pc = nn::Tensor::randn({b_sz, arch.seq_len, arch.pc_dim}, 1.0f, 124);
+  nn::Tensor batched = tab.forward(probe_addr, probe_pc);
+  for (std::size_t b = 0; b < b_sz; ++b) {
+    nn::Tensor a({arch.seq_len, arch.addr_dim}), p({arch.seq_len, arch.pc_dim});
+    std::copy(probe_addr.data() + b * a.numel(), probe_addr.data() + (b + 1) * a.numel(),
+              a.data());
+    std::copy(probe_pc.data() + b * p.numel(), probe_pc.data() + (b + 1) * p.numel(), p.data());
+    nn::Tensor ref = naive_forward_sample(tab, a, p);
+    nn::Tensor single = tab.forward_sample(a, p);
+    for (std::size_t j = 0; j < ref.numel(); ++j) {
+      EXPECT_NEAR(batched.at(b, j), ref[j], 1e-6f) << "sample " << b << " output " << j;
+      EXPECT_NEAR(single[j], ref[j], 1e-6f) << "sample " << b << " output " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Encoders, EndToEndGolden,
+                         ::testing::Values(pq::EncoderKind::kExact, pq::EncoderKind::kHashTree));
+
+TEST(TabularPredictorEdge, EmptyBatchReturnsEmptyTensor) {
+  nn::ModelConfig arch = core::paper_student_config();
+  nn::AddressPredictor model(arch, 43);
+  nn::Tensor addr = nn::Tensor::randn({32, arch.seq_len, arch.addr_dim}, 1.0f, 131);
+  nn::Tensor pc = nn::Tensor::randn({32, arch.seq_len, arch.pc_dim}, 1.0f, 132);
+  TabularizeOptions opt;
+  opt.tables = TableConfig::uniform(8, 2);
+  opt.fine_tune = false;
+  opt.kmeans_iters = 2;
+  TabularPredictor tab = tabularize(model, addr, pc, opt);
+  nn::Tensor empty_addr({0, arch.seq_len, arch.addr_dim});
+  nn::Tensor empty_pc({0, arch.seq_len, arch.pc_dim});
+  nn::Tensor out = tab.forward(empty_addr, empty_pc);
+  EXPECT_EQ(out.dim(0), 0u);
+  EXPECT_EQ(out.dim(1), arch.out_dim);
+}
+
+}  // namespace
+}  // namespace dart::tabular
