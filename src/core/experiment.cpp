@@ -14,6 +14,7 @@
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "core/artifact_cache.hpp"
 #include "core/configs.hpp"
 #include "tabular/complexity.hpp"
 
@@ -37,78 +38,13 @@ struct AppState {
   std::map<std::string, sim::DartModel> dart_cache;
 };
 
-/// Distills + tabularizes the requested DART variant against `state`'s app.
-/// The default variant reuses the pipeline's cached student; S/L retrain a
-/// student at the variant's architecture from the shared teacher (exactly
-/// the paper's Table VIII setup). Caller holds `state.mu`.
-/// Canonical variant key: lowercased, synonyms collapsed. Shared by the
-/// model builder and the cache key so "dart:variant=L" and "DART-L" (or
-/// "default"/"m"/"") hit the same cached model.
-std::string normalize_dart_variant(const std::string& variant) {
-  std::string v = variant;
-  for (auto& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  if (v == "m" || v.empty()) v = "default";
-  return v;
-}
-
-sim::DartModel build_dart_model(AppState& state, const PipelineOptions& popts,
-                                const sim::DartModelRequest& request) {
-  const std::string variant = normalize_dart_variant(request.variant);
-  DartVariant v;
-  if (variant == "s") {
-    v = dart_s_variant();
-  } else if (variant == "l") {
-    v = dart_l_variant();
-  } else if (variant == "default") {
-    v = dart_variant();
-  } else {
-    throw std::invalid_argument("unknown DART variant '" + request.variant +
-                                "' (expected s, default or l)");
-  }
-
-  tabular::TableConfig tables = v.tables;
-  if (request.table_k != 0 || request.table_c != 0) {
-    tables = tabular::TableConfig::uniform(
-        request.table_k != 0 ? request.table_k : v.tables.attention.k,
-        request.table_c != 0 ? request.table_c : v.tables.attention.c, v.tables.data_bits);
-  }
-
-  tabular::TabularizeOptions tab = popts.tab;
-  tab.tables = tables;
-  // Simulation queries must be O(log K): use the hash-tree encoder.
-  tab.encoder = pq::EncoderKind::kHashTree;
-
-  std::shared_ptr<tabular::TabularPredictor> predictor;
-  const bool reuse_default_student = variant != "s" && variant != "l";
-  if (reuse_default_student) {
-    predictor = std::make_shared<tabular::TabularPredictor>(state.pipe.tabularize(tab));
-  } else {
-    PipelineOptions po = popts;
-    po.student_arch = v.arch;
-    Pipeline variant_pipe(state.app, po);
-    // Share the prepared data by re-preparing (deterministic: same seed).
-    variant_pipe.prepare();
-    nn::AddressPredictor& teacher = state.pipe.teacher();
-    nn::AddressPredictor student(v.arch, common::derive_seed(po.seed, 3));
-    nn::train_distill(student, teacher, variant_pipe.train_set(), po.student_train, po.kd);
-    predictor = std::make_shared<tabular::TabularPredictor>(
-        tabular::tabularize(student, variant_pipe.train_set().addr,
-                            variant_pipe.train_set().pc, tab));
-  }
-
-  sim::DartModel model;
-  model.predictor = std::move(predictor);
-  model.latency_cycles = tabular::tabular_model_cost(v.arch, tables).latency_cycles;
-  model.display_name = v.name;
-  return model;
-}
-
 void build_context(AppState& state, const ExperimentSpec& spec) {
   AppState* s = &state;
   const PipelineOptions popts = spec.pipeline;
   state.ctx.prep = popts.prep;
   state.ctx.degree = popts.sim.max_degree;
   state.ctx.nn_trigger_sample = spec.nn_trigger_sample;
+  state.ctx.artifact_dir = popts.artifact_dir;
   state.ctx.attention_model = [s] {
     std::lock_guard lock(s->mu);
     return s->pipe.teacher_shared();
@@ -117,16 +53,33 @@ void build_context(AppState& state, const ExperimentSpec& spec) {
     std::lock_guard lock(s->mu);
     return s->pipe.lstm_baseline_shared();
   };
+  // Three cache levels, checked in order: the in-memory per-app map, the
+  // `.dart` artifact on disk (train-once across processes, keyed by the
+  // producing-configuration hash so stale files retrain), then training.
   state.ctx.dart_model = [s, popts](const sim::DartModelRequest& request) {
     std::lock_guard lock(s->mu);
     std::ostringstream key;
     key << normalize_dart_variant(request.variant) << '/' << request.table_k << '/'
         << request.table_c;
     auto it = s->dart_cache.find(key.str());
-    if (it == s->dart_cache.end()) {
-      it = s->dart_cache.emplace(key.str(), build_dart_model(*s, popts, request)).first;
+    if (it != s->dart_cache.end()) return it->second;
+
+    std::string path;
+    if (!popts.artifact_dir.empty()) {
+      path = dart_artifact_path(popts.artifact_dir, s->app, popts, request);
+      if (auto loaded =
+              try_load_dart_artifact(path, dart_config_key(s->app, popts, request))) {
+        return s->dart_cache.emplace(key.str(), std::move(*loaded)).first->second;
+      }
     }
-    return it->second;
+    TrainedDart trained = train_dart(s->pipe, request);
+    if (!path.empty()) save_dart_artifact(path, s->app, trained, "experiment_runner");
+    sim::DartModel model;
+    model.latency_cycles = trained.latency_cycles;
+    model.display_name = trained.display_name;
+    model.predictor =
+        std::make_shared<tabular::TabularPredictor>(std::move(trained.predictor));
+    return s->dart_cache.emplace(key.str(), std::move(model)).first->second;
   };
 }
 

@@ -29,6 +29,11 @@ struct ExperimentSpec {
   std::vector<std::string> prefetchers = {"BO",        "ISB",          "TransFetch",
                                           "Voyager",   "TransFetch-I", "Voyager-I",
                                           "DART-S",    "DART",         "DART-L"};
+  /// Shared data/training/simulation knobs. When `pipeline.artifact_dir`
+  /// is set (DART_ARTIFACT_DIR), the runner persists trained artifacts
+  /// there — `.dart` files for the tabular models, checkpoints for the NN
+  /// baselines — keyed by a configuration hash, and later sweeps under the
+  /// same knobs cold-start from disk with zero training/tabularization.
   PipelineOptions pipeline = PipelineOptions::bench_defaults();
   /// Simulation-cost sampling for the heavyweight NN baselines: run their
   /// (expensive CPU-side) inference on every Nth LLC access. Applied to the
@@ -47,47 +52,58 @@ struct ExperimentSpec {
 struct ExperimentCell {
   std::string spec;        ///< spec string as requested
   std::string prefetcher;  ///< display name (Prefetcher::name())
-  std::string app;
-  sim::SimStats stats;
-  double baseline_ipc = 0.0;
+  std::string app;         ///< Table IV app name, e.g. "605.mcf"
+  sim::SimStats stats;     ///< raw simulator counters for this cell
+  double baseline_ipc = 0.0;     ///< no-prefetcher IPC of the same trace
   double ipc_improvement = 0.0;  ///< (ipc - baseline) / baseline
-  std::size_t storage_bytes = 0;
-  std::size_t latency_cycles = 0;
+  std::size_t storage_bytes = 0;   ///< prefetcher metadata/model footprint
+  std::size_t latency_cycles = 0;  ///< prediction latency (Table IX)
 };
 
 /// Mean accuracy / coverage / IPC improvement per prefetcher, in first-seen
 /// cell order.
 struct PrefetcherSummary {
-  std::string prefetcher;
-  double mean_accuracy = 0.0;
-  double mean_coverage = 0.0;
-  double mean_ipc_improvement = 0.0;
-  std::size_t storage_bytes = 0;
-  std::size_t latency_cycles = 0;
+  std::string prefetcher;            ///< display name being aggregated
+  double mean_accuracy = 0.0;        ///< mean Fig. 12 accuracy across apps
+  double mean_coverage = 0.0;        ///< mean Fig. 13 coverage across apps
+  double mean_ipc_improvement = 0.0; ///< mean Fig. 14 IPC gain across apps
+  std::size_t storage_bytes = 0;     ///< max storage across apps
+  std::size_t latency_cycles = 0;    ///< prediction latency (config-fixed)
 };
 
 /// Structured result of a grid run: app-major cells in request order, plus
 /// aggregation and shared CSV/JSON export.
 struct ExperimentResult {
-  std::vector<ExperimentCell> cells;
+  std::vector<ExperimentCell> cells;  ///< app-major, in request order
 
-  /// Distinct apps / prefetcher display names in first-seen cell order.
+  /// Distinct app names in first-seen cell order.
   std::vector<std::string> apps() const;
+  /// Distinct prefetcher display names in first-seen cell order.
   std::vector<std::string> prefetchers() const;
   /// First cell matching (prefetcher display name, app); nullptr if absent.
   const ExperimentCell* find(const std::string& prefetcher, const std::string& app) const;
+  /// Per-prefetcher means across apps (the Table IX aggregation).
   std::vector<PrefetcherSummary> summaries() const;
 
   /// CSV round-trip. `tag` is an opaque first-line comment (cache keying);
   /// read_csv returns false when the file is missing or the tag mismatches.
   bool write_csv(const std::string& path, const std::string& tag = "") const;
+  /// Parses a write_csv file; returns false on missing file, tag mismatch
+  /// or malformed rows (never throws for those cases).
   static bool read_csv(const std::string& path, const std::string& expected_tag,
                        ExperimentResult* out);
+  /// Writes the cells as a JSON array (one object per cell).
   bool write_json(const std::string& path) const;
 };
 
+/// Evaluates an ExperimentSpec grid: per-app preparation + baseline
+/// simulation first, then every (app, prefetcher) cell as an independent
+/// task on the shared thread pool. Heavy artifacts (teacher, LSTM, DART
+/// tables) are trained lazily, once per app, on first use by any cell — or
+/// reloaded from `pipeline.artifact_dir` when a fresh artifact exists.
 class ExperimentRunner {
  public:
+  /// Captures the grid; nothing runs until `run()`.
   explicit ExperimentRunner(ExperimentSpec spec);
 
   /// Runs the grid. Spec strings are validated up front (unknown prefetcher

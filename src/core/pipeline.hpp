@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "nn/lstm.hpp"
 #include "nn/trainer.hpp"
@@ -32,10 +33,22 @@ struct PipelineOptions {
   std::size_t raw_accesses = 400000;  ///< generated accesses per app
   double train_frac = 0.75;
   std::uint64_t seed = 42;
+  /// Directory for trained-artifact caching (NN checkpoints here; `.dart`
+  /// files via core/artifact_cache.hpp). Empty disables caching. Stale
+  /// entries are detected by a configuration hash in the file name
+  /// (`pipeline_cache_key`), so changing any knob retrains automatically.
+  std::string artifact_dir;
 
-  /// Defaults scaled for CPU benches; reads DART_* env knobs (DESIGN.md §5).
+  /// Defaults scaled for CPU benches; reads DART_* env knobs (DESIGN.md §5),
+  /// including DART_ARTIFACT_DIR for `artifact_dir`.
   static PipelineOptions bench_defaults();
 };
+
+/// Hash of every option that affects trained models for `app` (trace
+/// generation, preprocessing, architectures, training/distillation/
+/// tabularization knobs, LLC-extraction geometry), as 16 hex digits.
+/// Artifact caches key file names on it so stale files are never reused.
+std::string pipeline_cache_key(trace::App app, const PipelineOptions& options);
 
 /// Per-application experiment state.
 class Pipeline {
@@ -84,8 +97,13 @@ class Pipeline {
   const PipelineOptions& options() const { return opts_; }
 
  private:
+  /// Checkpoint path for `model` ("teacher"/"student"/"lstm") under
+  /// `opts_.artifact_dir`, or "" when caching is disabled.
+  std::string checkpoint_path(const char* model);
+
   trace::App app_;
   PipelineOptions opts_;
+  std::string cache_key_;  ///< lazily computed pipeline_cache_key
   bool prepared_ = false;
   trace::MemoryTrace raw_;
   trace::MemoryTrace llc_;

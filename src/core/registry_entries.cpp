@@ -3,9 +3,11 @@
 // "-I" ideals) and the DART tabular variants. All trained artifacts come
 // from the PrefetcherContext, so these factories work under any harness
 // that can lend models — ExperimentRunner, tests, or custom drivers.
+#include <memory>
 #include <stdexcept>
 
 #include "core/configs.hpp"
+#include "io/artifact.hpp"
 #include "prefetch/nn_prefetchers.hpp"
 #include "sim/registry.hpp"
 
@@ -70,6 +72,28 @@ void register_model_backed_prefetchers(PrefetcherRegistry& registry) {
   });
   registry.add_alias("dart-s", "dart", {{"variant", "s"}});
   registry.add_alias("dart-l", "dart", {{"variant", "l"}});
+
+  // Serving-process entry: a DART prefetcher cold-started from a versioned
+  // `.dart` artifact (tools/dart_train output) — no trained pipeline, no
+  // context providers, no training dependency. The artifact's embedded
+  // preprocessing geometry overrides the context's, since inference inputs
+  // must be built exactly as the model was trained.
+  registry.add("dart-artifact", [](PrefetcherSpec& spec, PrefetcherContext& context) {
+    const std::string file = spec.get_string("file", "");
+    if (file.empty()) {
+      throw std::invalid_argument("prefetcher spec '" + spec.text() +
+                                  "' needs file=<path to .dart artifact>");
+    }
+    io::ArtifactInfo info;
+    auto predictor =
+        std::make_shared<tabular::TabularPredictor>(io::load_predictor_artifact(file, &info));
+    prefetch::NnAdapterOptions o = adapter_options(spec, context, /*default_sample=*/1);
+    o.prep = info.meta.prep;
+    o.latency = spec.get_uint("latency", static_cast<std::size_t>(info.meta.latency_cycles));
+    const std::string name =
+        info.meta.display_name.empty() ? "DART(artifact)" : info.meta.display_name;
+    return std::make_unique<prefetch::DartPrefetcher>(std::move(predictor), o, name);
+  });
 }
 
 }  // namespace dart::sim

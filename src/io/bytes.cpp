@@ -1,0 +1,156 @@
+#include "io/bytes.hpp"
+
+#include <cstring>
+
+namespace dart::io {
+
+std::uint64_t fnv1a64(const void* data, std::size_t n, std::uint64_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// ------------------------------------------------------------------ writer
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f32(float v) {
+  std::uint32_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "float must be 32-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  u32(bits);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u64(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::f32s(const float* data, std::size_t n) {
+  u64(n);
+  for (std::size_t i = 0; i < n; ++i) f32(data[i]);
+}
+
+void ByteWriter::u32s(const std::uint32_t* data, std::size_t n) {
+  u64(n);
+  for (std::size_t i = 0; i < n; ++i) u32(data[i]);
+}
+
+void ByteWriter::i32s(const std::int32_t* data, std::size_t n) {
+  u64(n);
+  for (std::size_t i = 0; i < n; ++i) u32(static_cast<std::uint32_t>(data[i]));
+}
+
+void ByteWriter::tensor(const nn::Tensor& t) {
+  u32(static_cast<std::uint32_t>(t.ndim()));
+  for (std::size_t i = 0; i < t.ndim(); ++i) u64(t.dim(i));
+  f32s(t.data(), t.numel());
+}
+
+// ------------------------------------------------------------------ reader
+
+void ByteReader::need(std::size_t n) const {
+  if (n > size_ - pos_) {
+    throw ArtifactError("truncated artifact payload: need " + std::to_string(n) +
+                        " bytes at offset " + std::to_string(pos_) + ", have " +
+                        std::to_string(size_ - pos_));
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+float ByteReader::f32() {
+  const std::uint32_t bits = u32();
+  float v = 0.0f;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  need(n);  // rejects corrupted lengths before any allocation
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+// Count prefixes are validated against the remaining payload (divide, so a
+// near-2^64 count cannot overflow the byte total) before any allocation.
+std::vector<float> ByteReader::f32s() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / 4) throw ArtifactError("artifact float array exceeds payload");
+  std::vector<float> out(n);
+  for (std::uint64_t i = 0; i < n; ++i) out[i] = f32();
+  return out;
+}
+
+std::vector<std::uint32_t> ByteReader::u32s() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / 4) throw ArtifactError("artifact uint32 array exceeds payload");
+  std::vector<std::uint32_t> out(n);
+  for (std::uint64_t i = 0; i < n; ++i) out[i] = u32();
+  return out;
+}
+
+std::vector<std::int32_t> ByteReader::i32s() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / 4) throw ArtifactError("artifact int32 array exceeds payload");
+  std::vector<std::int32_t> out(n);
+  for (std::uint64_t i = 0; i < n; ++i) out[i] = static_cast<std::int32_t>(u32());
+  return out;
+}
+
+nn::Tensor ByteReader::tensor() {
+  const std::uint32_t ndim = u32();
+  if (ndim == 0 || ndim > 4) {
+    throw ArtifactError("artifact tensor has unsupported rank " + std::to_string(ndim));
+  }
+  std::vector<std::size_t> shape(ndim);
+  std::uint64_t numel = 1;
+  for (std::uint32_t i = 0; i < ndim; ++i) {
+    const std::uint64_t d = u64();
+    // A corrupted extent must not overflow the element count: each extent is
+    // bounded by the payload that must still follow.
+    if (d == 0 || d > remaining() || numel > remaining()) {
+      throw ArtifactError("artifact tensor extent is inconsistent with payload size");
+    }
+    shape[i] = static_cast<std::size_t>(d);
+    numel *= d;
+  }
+  std::vector<float> payload = f32s();
+  if (payload.size() != numel) {
+    throw ArtifactError("artifact tensor payload does not match its shape");
+  }
+  nn::Tensor t(shape);
+  std::memcpy(t.data(), payload.data(), payload.size() * sizeof(float));
+  return t;
+}
+
+}  // namespace dart::io

@@ -71,6 +71,48 @@ HashTreeEncoder::HashTreeEncoder(const nn::Tensor& prototypes) {
   }
 }
 
+HashTreeEncoder::HashTreeEncoder(std::vector<HotNode> nodes, std::vector<std::int32_t> leaves,
+                                 std::size_t k, std::size_t v)
+    : hot_(std::move(nodes)), protos_(std::move(leaves)), k_(k), v_(v) {
+  if (k_ == 0 || v_ == 0) throw std::invalid_argument("HashTreeEncoder: empty tree");
+  while ((1ULL << depth_) < k_) ++depth_;
+  const std::size_t node_count = (1ULL << (depth_ + 1)) - 1;
+  if (hot_.size() != node_count || protos_.size() != node_count) {
+    throw std::invalid_argument("HashTreeEncoder: node arrays do not match prototype count");
+  }
+  // Walk safety: every reachable node must either be a valid leaf or an
+  // internal node with a valid split dimension and in-bounds children.
+  // Iterative DFS over the (at most node_count) reachable slots.
+  std::vector<std::size_t> stack = {0};
+  while (!stack.empty()) {
+    const std::size_t idx = stack.back();
+    stack.pop_back();
+    const std::int32_t leaf = protos_[idx];
+    if (leaf >= 0) {
+      if (static_cast<std::size_t>(leaf) >= k_) {
+        throw std::invalid_argument("HashTreeEncoder: leaf prototype id out of range");
+      }
+      continue;
+    }
+    if (2 * idx + 2 >= node_count) {
+      throw std::invalid_argument("HashTreeEncoder: walk escapes the node heap");
+    }
+    if (hot_[idx].split_dim >= v_) {
+      throw std::invalid_argument("HashTreeEncoder: split dimension out of range");
+    }
+    stack.push_back(2 * idx + 1);
+    stack.push_back(2 * idx + 2);
+  }
+  uniform_ = true;
+  const std::size_t internal = (1ULL << depth_) - 1;
+  for (std::size_t i = 0; i < internal; ++i) {
+    if (protos_[i] >= 0) {
+      uniform_ = false;
+      break;
+    }
+  }
+}
+
 void HashTreeEncoder::build(std::vector<std::uint32_t> protos, const nn::Tensor& prototypes,
                             std::size_t node_idx) {
   if (protos.size() == 1 || 2 * node_idx + 2 >= protos_.size()) {

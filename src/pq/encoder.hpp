@@ -77,7 +77,26 @@ class ExactEncoder final : public Encoder {
 /// (ablated in bench_ablation_encoders).
 class HashTreeEncoder final : public Encoder {
  public:
+  /// One internal decision node of the flattened heap: compare
+  /// `row[split_dim]` against `threshold` to pick a child. Public because
+  /// the `.dart` artifact serializes the trained tree verbatim
+  /// (`src/io/artifact.cpp`), keeping reloads bit-exact.
+  struct HotNode {
+    std::uint32_t split_dim = 0;
+    float threshold = 0.0f;
+  };
+
   explicit HashTreeEncoder(const nn::Tensor& prototypes);
+
+  /// Deserialization constructor: adopts a previously built tree (the
+  /// `nodes()` / `leaves()` arrays) verbatim. `k`/`v` are the prototype
+  /// count and input width. Validates the heap invariants — array sizes,
+  /// `split_dim < v`, leaf ids in [0, k), and that every root-to-leaf walk
+  /// terminates inside the arrays — and throws std::invalid_argument on any
+  /// violation, so a corrupted artifact cannot produce an encoder whose
+  /// walk reads out of bounds.
+  HashTreeEncoder(std::vector<HotNode> nodes, std::vector<std::int32_t> leaves, std::size_t k,
+                  std::size_t v);
 
   std::uint32_t encode(const float* row) const override;
   void encode_batch(const float* rows, std::size_t row_stride, std::size_t n,
@@ -85,6 +104,11 @@ class HashTreeEncoder final : public Encoder {
   std::size_t num_prototypes() const override { return k_; }
   std::size_t vec_dim() const override { return v_; }
   std::size_t comparisons_per_encode() const override { return depth_; }
+
+  /// Raw decision nodes (serialization; parallel to `leaves()`).
+  const std::vector<HotNode>& nodes() const { return hot_; }
+  /// Raw leaf prototype ids, -1 on internal nodes (serialization).
+  const std::vector<std::int32_t>& leaves() const { return protos_; }
 
  private:
   void build(std::vector<std::uint32_t> protos, const nn::Tensor& prototypes,
@@ -94,10 +118,6 @@ class HashTreeEncoder final : public Encoder {
   // touches only the 8-byte {split_dim, threshold} pairs; leaf prototype
   // ids live in a separate array read once at the end. protos_[i] >= 0
   // marks a leaf.
-  struct HotNode {
-    std::uint32_t split_dim = 0;
-    float threshold = 0.0f;
-  };
   std::vector<HotNode> hot_;
   std::vector<std::int32_t> protos_;
   std::size_t k_ = 0;

@@ -13,6 +13,12 @@
 
 namespace dart::sim {
 
+/// Abstract LLC prefetcher driven by the timing simulator (Fig. 3's
+/// integration point). Implementations observe demand accesses/fills and
+/// emit candidate block addresses; the simulator applies queueing, latency,
+/// and degree limits. Instances are constructed from spec strings through
+/// `sim::PrefetcherRegistry` (registry.hpp) — new prefetchers should
+/// register a factory there rather than extend any driver.
 class Prefetcher {
  public:
   virtual ~Prefetcher() = default;
@@ -43,6 +49,9 @@ class Prefetcher {
   /// concurrently must serialize simulations of such prefetchers.
   virtual bool shares_mutable_model() const { return false; }
 
+  /// Display name used in result tables ("BO", "DART-L", ...). Distinct
+  /// configurations may share a name; reporting layers disambiguate by
+  /// spec string when they collide.
   virtual std::string name() const = 0;
 };
 

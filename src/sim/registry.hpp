@@ -42,15 +42,26 @@ class TabularPredictor;
 
 namespace dart::sim {
 
-/// Parsed form of a prefetcher spec string. Parameter getters record which
-/// keys were consumed so the registry can reject typos (`unused_keys`).
+/// Parsed form of a prefetcher spec string. The grammar:
+///
+///     spec   := name [":" param ("," param)*]
+///     param  := key "=" value | flag        (a bare flag means flag=1)
+///
+/// e.g. `"bo"`, `"stride:table=256,degree=4"`, `"transfetch:ideal"`,
+/// `"dart:variant=l,threshold=0.6"`, `"dart-artifact:file=m.dart"`. Names
+/// and keys are case-insensitive; every spec additionally accepts
+/// `label=<name>` to override the display name. Parameter getters record
+/// which keys were consumed so the registry can reject typos
+/// (`unused_keys`).
 class PrefetcherSpec {
  public:
   /// Parses `text`; throws std::invalid_argument on an empty name or a
   /// malformed `key=value` pair.
   static PrefetcherSpec parse(const std::string& text);
 
+  /// The (lowercased) prefetcher name the spec opens with.
   const std::string& name() const { return name_; }
+  /// The original spec text as supplied by the user.
   const std::string& text() const { return text_; }
 
   bool has(const std::string& key) const;
@@ -87,9 +98,9 @@ struct DartModelRequest {
 
 /// A trained tabular predictor plus its analytic cost-model latency.
 struct DartModel {
-  std::shared_ptr<const tabular::TabularPredictor> predictor;
-  std::size_t latency_cycles = 0;
-  std::string display_name = "DART";
+  std::shared_ptr<const tabular::TabularPredictor> predictor;  ///< shared, immutable
+  std::size_t latency_cycles = 0;      ///< Eq. 22 prediction latency
+  std::string display_name = "DART";   ///< Table VIII variant name
 };
 
 /// Lends factories lazy, shared access to trained pipeline artifacts. The
@@ -100,15 +111,31 @@ struct PrefetcherContext {
   trace::PreprocessOptions prep;       ///< must match the training pipeline
   std::size_t degree = 16;             ///< default max predictions/trigger
   std::size_t nn_trigger_sample = 1;   ///< default NN-baseline sampling
+  /// Directory where the owning harness caches trained artifacts (`.dart`
+  /// files, NN checkpoints) — see core/artifact_cache.hpp. Informational
+  /// for factories; providers below are expected to consult it themselves.
+  /// Empty when caching is disabled.
+  std::string artifact_dir;
 
+  /// Lazily trains/loads the attention teacher shared by this app's cells.
   std::function<std::shared_ptr<nn::AddressPredictor>()> attention_model;
+  /// Lazily trains/loads the Voyager-like LSTM baseline.
   std::function<std::shared_ptr<nn::LstmPredictor>()> lstm_model;
+  /// Lazily trains/loads the tabularized DART predictor for a request.
   std::function<DartModel(const DartModelRequest&)> dart_model;
 };
 
+/// Constructs a prefetcher from its parsed spec, borrowing trained
+/// artifacts from the context. Factories must consume every parameter they
+/// honor via the PrefetcherSpec getters (unconsumed keys are rejected).
 using PrefetcherFactory =
     std::function<std::unique_ptr<Prefetcher>(PrefetcherSpec&, PrefetcherContext&)>;
 
+/// Process-wide name -> factory map behind every prefetcher the experiment
+/// harness can build (DESIGN.md §4). Adding a scenario is one `add()` call
+/// (from any linked translation unit) plus a spec string — the evaluation
+/// driver never changes. Thread-safe; alias entries expand legacy display
+/// names ("DART-S", "TransFetch-I") into parameterized specs.
 class PrefetcherRegistry {
  public:
   /// Process-wide registry with the built-in factories pre-installed.
@@ -162,7 +189,11 @@ std::vector<std::string> split_spec_list(const std::string& text);
 // next to the prefetchers they wrap (src/prefetch/rule_based.cpp and
 // src/core/registry_entries.cpp); the whole project links as one library,
 // so the cross-directory definition is resolved at link time.
+
+/// Installs the rule-based pack: nextline, stride, bo, isb (+ aliases).
 void register_rule_based_prefetchers(PrefetcherRegistry& registry);
+/// Installs the model-backed pack: transfetch, voyager, dart (+ "-I"/"-S"/
+/// "-L" aliases) and dart-artifact (serve a `.dart` file, training-free).
 void register_model_backed_prefetchers(PrefetcherRegistry& registry);
 
 }  // namespace dart::sim

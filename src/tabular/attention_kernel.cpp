@@ -145,6 +145,54 @@ AttentionKernel::AttentionKernel(const nn::Tensor& q, const nn::Tensor& k, const
   }, 1);
 }
 
+AttentionKernel AttentionKernel::from_parts(
+    const AttentionKernelConfig& config, std::size_t t_len, std::size_t dk,
+    std::vector<float> qk_table, std::vector<float> qkv_table,
+    std::vector<std::unique_ptr<pq::Encoder>> q_encoders,
+    std::vector<std::unique_ptr<pq::Encoder>> k_encoders,
+    std::vector<std::unique_ptr<pq::Encoder>> s_encoders,
+    std::vector<std::unique_ptr<pq::Encoder>> v_encoders) {
+  const std::size_t kp = config.num_prototypes;
+  if (t_len == 0 || dk == 0 || kp == 0 || config.ck == 0 || config.ct == 0 ||
+      dk % config.ck != 0 || t_len % config.ct != 0) {
+    throw std::invalid_argument("AttentionKernel::from_parts: inconsistent dimensions");
+  }
+  if (qk_table.size() != config.ck * kp * kp || qkv_table.size() != config.ct * kp * kp) {
+    throw std::invalid_argument("AttentionKernel::from_parts: table size mismatch");
+  }
+  const std::size_t sub_dk = dk / config.ck;
+  const std::size_t sub_t = t_len / config.ct;
+  auto check_bank = [kp](const std::vector<std::unique_ptr<pq::Encoder>>& bank,
+                         std::size_t count, std::size_t width) {
+    if (bank.size() != count) {
+      throw std::invalid_argument("AttentionKernel::from_parts: encoder count mismatch");
+    }
+    for (const auto& enc : bank) {
+      if (!enc || enc->vec_dim() != width || enc->num_prototypes() != kp) {
+        throw std::invalid_argument("AttentionKernel::from_parts: encoder shape mismatch");
+      }
+    }
+  };
+  check_bank(q_encoders, config.ck, sub_dk);
+  check_bank(k_encoders, config.ck, sub_dk);
+  check_bank(s_encoders, config.ct, sub_t);
+  check_bank(v_encoders, config.ct, sub_t);
+
+  AttentionKernel kernel;
+  kernel.config_ = config;
+  kernel.t_len_ = t_len;
+  kernel.dk_ = dk;
+  kernel.sub_dk_ = sub_dk;
+  kernel.sub_t_ = sub_t;
+  kernel.qk_table_ = std::move(qk_table);
+  kernel.qkv_table_ = std::move(qkv_table);
+  kernel.q_encoders_ = std::move(q_encoders);
+  kernel.k_encoders_ = std::move(k_encoders);
+  kernel.s_encoders_ = std::move(s_encoders);
+  kernel.v_encoders_ = std::move(v_encoders);
+  return kernel;
+}
+
 void AttentionKernel::query_batch_into(const float* q, std::size_t q_stride, const float* k,
                                        std::size_t k_stride, const float* v,
                                        std::size_t v_stride, std::size_t n, float* out,

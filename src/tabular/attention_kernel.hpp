@@ -55,6 +55,19 @@ class AttentionKernel {
   AttentionKernel(const nn::Tensor& q, const nn::Tensor& k, const nn::Tensor& v,
                   const AttentionKernelConfig& config);
 
+  /// Deserialization factory: adopts previously trained QK/QKV tables (the
+  /// `qk_table()` / `qkv_table()` layouts) and the four encoder banks
+  /// verbatim — no k-means, no activations. Validates every size and
+  /// encoder shape against `config`/`t_len`/`dk` and throws
+  /// std::invalid_argument on mismatch. Used by `src/io/artifact.cpp`.
+  static AttentionKernel from_parts(const AttentionKernelConfig& config, std::size_t t_len,
+                                    std::size_t dk, std::vector<float> qk_table,
+                                    std::vector<float> qkv_table,
+                                    std::vector<std::unique_ptr<pq::Encoder>> q_encoders,
+                                    std::vector<std::unique_ptr<pq::Encoder>> k_encoders,
+                                    std::vector<std::unique_ptr<pq::Encoder>> s_encoders,
+                                    std::vector<std::unique_ptr<pq::Encoder>> v_encoders);
+
   /// Zero-allocation hot path: queries one sample whose q/k/v rows live at
   /// `q + t*q_stride` etc. (so per-head slices of a packed [T, 3D] QKV
   /// activation can be queried without split copies) and writes row t of
@@ -110,6 +123,8 @@ class AttentionKernel {
   const pq::Encoder& v_encoder(std::size_t c) const { return *v_encoders_[c]; }
 
  private:
+  AttentionKernel() = default;  // from_parts fills every member
+
   AttentionKernelConfig config_;
   std::size_t t_len_ = 0;
   std::size_t dk_ = 0;

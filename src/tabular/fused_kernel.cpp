@@ -28,6 +28,28 @@ FusedKernel::FusedKernel(std::size_t in_dim, std::size_t out_dim,
   encoder_ = pq::make_encoder(config.encoder, res.centroids);
 }
 
+FusedKernel FusedKernel::from_parts(const FusedKernelConfig& config, std::size_t in_dim,
+                                    std::size_t out_dim, nn::Tensor table,
+                                    std::unique_ptr<pq::Encoder> encoder) {
+  if (in_dim == 0 || out_dim == 0 || config.num_prototypes == 0) {
+    throw std::invalid_argument("FusedKernel::from_parts: inconsistent dimensions");
+  }
+  if (table.ndim() != 2 || table.dim(0) != config.num_prototypes || table.dim(1) != out_dim) {
+    throw std::invalid_argument("FusedKernel::from_parts: table shape mismatch");
+  }
+  if (!encoder || encoder->vec_dim() != in_dim ||
+      encoder->num_prototypes() != config.num_prototypes) {
+    throw std::invalid_argument("FusedKernel::from_parts: encoder shape mismatch");
+  }
+  FusedKernel kernel;
+  kernel.config_ = config;
+  kernel.in_dim_ = in_dim;
+  kernel.out_dim_ = out_dim;
+  kernel.table_ = std::move(table);
+  kernel.encoder_ = std::move(encoder);
+  return kernel;
+}
+
 nn::Tensor FusedKernel::query(const nn::Tensor& rows) const {
   if (rows.ndim() != 2 || rows.dim(1) != in_dim_) {
     throw std::invalid_argument("FusedKernel::query: rows must be [T, DI]");

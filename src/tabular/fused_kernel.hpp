@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "nn/tensor.hpp"
 #include "pq/encoder.hpp"
@@ -42,6 +43,14 @@ class FusedKernel {
               const std::function<nn::Tensor(const nn::Tensor&)>& stack,
               const nn::Tensor& training_rows, const FusedKernelConfig& config);
 
+  /// Deserialization factory: adopts a previously evaluated [K, DO] table
+  /// and its encoder verbatim — the layer stack is not needed to reload.
+  /// Validates shapes and throws std::invalid_argument on mismatch. Used by
+  /// `src/io/artifact.cpp`.
+  static FusedKernel from_parts(const FusedKernelConfig& config, std::size_t in_dim,
+                                std::size_t out_dim, nn::Tensor table,
+                                std::unique_ptr<pq::Encoder> encoder);
+
   /// Query: encode each row, copy the precomputed stack output.
   nn::Tensor query(const nn::Tensor& rows) const;
 
@@ -55,9 +64,24 @@ class FusedKernel {
   /// no aggregation tree.
   std::size_t latency_cycles() const;
 
+  const FusedKernelConfig& config() const { return config_; }
+  /// Raw [K, DO] table — stack output per prototype (serialization/tests).
+  const nn::Tensor& table() const { return table_; }
+  /// The single full-width codebook encoder (serialization/tests).
+  const pq::Encoder& encoder() const { return *encoder_; }
+
+  /// Writes this kernel as a `.dart` artifact (DESIGN.md §7, FUSD chunk).
+  /// Defined in `src/io/artifact.cpp`; throws io::ArtifactError on failure.
+  void save(const std::string& path) const;
+  /// Reloads a kernel saved by `save`; bit-exact. Throws io::ArtifactError
+  /// on missing/corrupted/incompatible files.
+  static FusedKernel load(const std::string& path);
+
  private:
-  std::size_t in_dim_;
-  std::size_t out_dim_;
+  FusedKernel() = default;  // from_parts fills every member
+
+  std::size_t in_dim_ = 0;
+  std::size_t out_dim_ = 0;
   FusedKernelConfig config_;
   nn::Tensor table_;  ///< [K, DO] — stack evaluated at each prototype
   std::unique_ptr<pq::Encoder> encoder_;

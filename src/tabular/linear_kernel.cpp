@@ -55,6 +55,36 @@ LinearKernel::LinearKernel(const nn::Tensor& weight, const nn::Tensor& bias,
   }, 1);
 }
 
+LinearKernel LinearKernel::from_parts(const KernelConfig& config, std::size_t in_dim,
+                                      std::size_t out_dim, std::vector<float> table,
+                                      std::vector<std::unique_ptr<pq::Encoder>> encoders) {
+  const std::size_t k = config.num_prototypes;
+  const std::size_t c_count = config.num_subspaces;
+  if (in_dim == 0 || out_dim == 0 || k == 0 || c_count == 0 || in_dim % c_count != 0) {
+    throw std::invalid_argument("LinearKernel::from_parts: inconsistent dimensions");
+  }
+  if (table.size() != c_count * k * out_dim) {
+    throw std::invalid_argument("LinearKernel::from_parts: table size mismatch");
+  }
+  if (encoders.size() != c_count) {
+    throw std::invalid_argument("LinearKernel::from_parts: encoder count mismatch");
+  }
+  const std::size_t sub_dim = in_dim / c_count;
+  for (const auto& enc : encoders) {
+    if (!enc || enc->vec_dim() != sub_dim || enc->num_prototypes() != k) {
+      throw std::invalid_argument("LinearKernel::from_parts: encoder shape mismatch");
+    }
+  }
+  LinearKernel kernel;
+  kernel.config_ = config;
+  kernel.in_dim_ = in_dim;
+  kernel.out_dim_ = out_dim;
+  kernel.sub_dim_ = sub_dim;
+  kernel.table_ = std::move(table);
+  kernel.encoders_ = std::move(encoders);
+  return kernel;
+}
+
 void LinearKernel::query_into(const float* rows, std::size_t n, std::size_t row_stride,
                               float* out, std::size_t out_stride,
                               InferenceWorkspace& ws) const {

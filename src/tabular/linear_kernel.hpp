@@ -37,6 +37,16 @@ class LinearKernel {
   LinearKernel(const nn::Tensor& weight, const nn::Tensor& bias,
                const nn::Tensor& training_rows, const KernelConfig& config);
 
+  /// Deserialization factory: adopts a previously trained table (in the
+  /// [C][K][DO] layout of `table()`) and per-subspace encoders verbatim —
+  /// no k-means, no weights. Validates dimensional consistency (table size,
+  /// encoder count/width/prototype count) and throws std::invalid_argument
+  /// on mismatch, so a corrupted artifact cannot yield out-of-bounds
+  /// lookups. Used by `src/io/artifact.cpp`.
+  static LinearKernel from_parts(const KernelConfig& config, std::size_t in_dim,
+                                 std::size_t out_dim, std::vector<float> table,
+                                 std::vector<std::unique_ptr<pq::Encoder>> encoders);
+
   /// Zero-allocation hot path: applies the kernel to `n` rows starting at
   /// `rows` (consecutive rows `row_stride` floats apart) and writes row i's
   /// DO outputs at `out + i * out_stride`. Strictly serial — callers own
@@ -73,10 +83,12 @@ class LinearKernel {
   const pq::Encoder& encoder(std::size_t c) const { return *encoders_[c]; }
 
  private:
+  LinearKernel() = default;  // from_parts fills every member
+
   KernelConfig config_;
-  std::size_t in_dim_;
-  std::size_t out_dim_;
-  std::size_t sub_dim_;
+  std::size_t in_dim_ = 0;
+  std::size_t out_dim_ = 0;
+  std::size_t sub_dim_ = 0;
   // table_[((c * K) + k) * DO + o] = W_o,c · P_ck (+ b_o when c == 0).
   std::vector<float> table_;
   std::vector<std::unique_ptr<pq::Encoder>> encoders_;  ///< one per subspace

@@ -1,6 +1,8 @@
 #include "tabular/lut.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace dart::tabular {
 
@@ -13,6 +15,11 @@ SigmoidLut::SigmoidLut() {
     const float x = -kRange + (static_cast<float>(i) + 0.5f) * step;
     table_[i] = 1.0f / (1.0f + std::exp(-x));
   }
+}
+
+void SigmoidLut::set_table(const float* values, std::size_t n) {
+  if (n != kEntries) throw std::invalid_argument("SigmoidLut::set_table: size mismatch");
+  std::copy(values, values + n, table_.begin());
 }
 
 nn::Tensor SigmoidLut::apply(const nn::Tensor& x) const {

@@ -44,6 +44,15 @@ class SigmoidLut {
 
   std::size_t table_bytes() const { return kEntries * sizeof(float); }
 
+  /// Raw table contents (serialization).
+  const float* table_data() const { return table_.data(); }
+
+  /// Adopts `n` (= kEntries) stored table values verbatim — used when
+  /// reloading a `.dart` artifact, so served predictions stay bit-exact
+  /// with the producing host even if its libm rounds std::exp differently.
+  /// Throws std::invalid_argument on a size mismatch.
+  void set_table(const float* values, std::size_t n);
+
  private:
   std::array<float, kEntries> table_{};
   float inv_step_ = 0.0f;  ///< kEntries / (2*kRange), set once in the ctor

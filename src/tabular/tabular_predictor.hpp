@@ -51,6 +51,10 @@ struct TabularEncoderLayer {
 
 class TabularPredictor {
  public:
+  /// Empty predictor (no kernels) — a move-assignment target for loaders
+  /// and aggregate containers; not queryable until populated.
+  TabularPredictor() = default;
+
   explicit TabularPredictor(const nn::ModelConfig& arch) : arch_(arch) {}
 
   /// Batched query: [B,T,S] segmented addr + pc -> probabilities [B, DO]
@@ -89,6 +93,17 @@ class TabularPredictor {
 
   /// Total table storage in bytes (tables + sigmoid LUT + LN params).
   std::size_t storage_bytes() const;
+
+  /// Writes the complete deployment bundle — every kernel table, encoder,
+  /// LayerNorm, the sigmoid LUT and the architecture — as a versioned
+  /// `.dart` artifact (DESIGN.md §7). Defined in `src/io/artifact.cpp`;
+  /// throws io::ArtifactError on I/O failure. For artifacts with metadata
+  /// (app, latency, cache key) use io::save_predictor_artifact.
+  void save(const std::string& path) const;
+  /// Reloads a predictor saved by `save` (or `dart_train`); predictions are
+  /// bit-exact vs the original instance. Throws io::ArtifactError on
+  /// missing, truncated, corrupted, or version-incompatible files.
+  static TabularPredictor load(const std::string& path);
 
   const nn::ModelConfig& arch() const { return arch_; }
 

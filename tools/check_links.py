@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Offline markdown link check for the repository docs.
+
+Scans every tracked *.md file for inline links/images and verifies that
+relative targets exist on disk (anchors are stripped; http(s)/mailto links
+are skipped — CI must not depend on external availability). Exits non-zero
+listing every broken link. Run from the repository root:
+
+    python3 tools/check_links.py
+"""
+import os
+import re
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", "build-review", "build-baseline", "build-docs"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target.split("#", 1)[0])
+                )
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target, os.path.relpath(resolved, root)))
+    return broken
+
+
+def main():
+    root = os.getcwd()
+    failures = 0
+    checked = 0
+    for path in sorted(markdown_files(root)):
+        checked += 1
+        for lineno, target, resolved in check_file(path, root):
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{lineno}: broken link '{target}' -> missing '{resolved}'")
+            failures += 1
+    print(f"checked {checked} markdown files, {failures} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

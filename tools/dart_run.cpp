@@ -1,0 +1,202 @@
+// dart_run — serve a trained `.dart` artifact with zero training
+// dependency: cold-start the table hierarchy from disk in milliseconds,
+// then inspect it, micro-bench its query path, or deploy it as an LLC
+// prefetcher in the timing simulator.
+//
+//   dart_run ARTIFACT.dart [--info] [--bench] [--simulate]
+//            [--app NAME] [--queries N]
+//
+// Modes (default --info; several can be combined in one invocation):
+//   --info      print the artifact header: architecture, tables, storage,
+//               latency, content hash, producing configuration key.
+//   --bench     regenerate the app's access stream (deterministic, no
+//               training), build the segmented inference inputs, and
+//               measure batched query throughput + F1 vs the trace labels.
+//   --simulate  run the timing simulator with the artifact as the LLC
+//               prefetcher vs a no-prefetcher baseline (Fig. 14's metric).
+//
+// `--app` overrides the app recorded in the artifact (e.g. to measure how
+// a model trained on one workload generalizes to another). `--queries`
+// caps the bench query count (default DART_BENCH_QUERIES or 4096).
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "nn/metrics.hpp"
+#include "core/pipeline.hpp"
+#include "io/artifact.hpp"
+#include "prefetch/nn_prefetchers.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+#include "trace/preprocess.hpp"
+
+using namespace dart;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s ARTIFACT.dart [--info] [--bench] [--simulate] [--app NAME] "
+               "[--queries N]\n",
+               argv0);
+  return 2;
+}
+
+void print_info(const std::string& path, const io::ArtifactInfo& info,
+                const tabular::TabularPredictor& predictor) {
+  const nn::ModelConfig& a = info.arch;
+  std::printf("artifact   : %s (format v%u, content hash %016llx)\n", path.c_str(),
+              info.format_version, static_cast<unsigned long long>(info.content_hash));
+  std::printf("producer   : %s%s%s\n", info.meta.producer.c_str(),
+              info.meta.app.empty() ? "" : ", app ", info.meta.app.c_str());
+  std::printf("model      : %s — L=%zu D=%zu H=%zu T=%zu DF=%zu DO=%zu\n",
+              info.meta.display_name.empty() ? "(unnamed)" : info.meta.display_name.c_str(),
+              a.layers, a.dim, a.heads, a.seq_len, a.ffn_dim, a.out_dim);
+  std::printf("tables     : K=%zu C=%zu (attention class), %.1f KB total storage\n",
+              info.meta.tables.attention.k, info.meta.tables.attention.c,
+              predictor.storage_bytes() / 1024.0);
+  std::printf("latency    : %llu cycles (Eq. 22 cost model)\n",
+              static_cast<unsigned long long>(info.meta.latency_cycles));
+  std::printf("config key : %s\n",
+              info.meta.config_key.empty() ? "(none)" : info.meta.config_key.c_str());
+}
+
+/// Deterministically rebuilds the app's dataset from the artifact's
+/// recorded preprocessing geometry — trace generation + segmentation only,
+/// no model training anywhere on this path.
+nn::Dataset build_eval_dataset(trace::App app, const trace::PreprocessOptions& prep) {
+  core::PipelineOptions options = core::PipelineOptions::bench_defaults();
+  options.prep = prep;
+  if (options.prep.max_samples == 0) options.prep.max_samples = 6000;
+  core::Pipeline pipe(app, options);
+  return pipe.test_set();
+}
+
+int run_bench(trace::App app, const io::ArtifactInfo& info,
+              const tabular::TabularPredictor& predictor, std::size_t queries) {
+  nn::Dataset data = build_eval_dataset(app, info.meta.prep);
+  if (data.size() == 0) {
+    std::fprintf(stderr, "bench: empty evaluation dataset for %s\n",
+                 trace::app_name(app).c_str());
+    return 1;
+  }
+  const std::size_t n = std::min(queries, data.size());
+  const nn::Dataset probe = data.slice(0, n);
+
+  common::Stopwatch timer;
+  const nn::Tensor probs = predictor.forward(probe.addr, probe.pc);
+  const double ms = timer.elapsed_ms();
+  const nn::F1Result f1 = nn::f1_score_from_probs(probs, probe.labels);
+
+  std::printf("bench      : %zu queries on %s in %.2f ms (%.0f q/s, batched)\n", n,
+              trace::app_name(app).c_str(), ms, 1000.0 * static_cast<double>(n) / ms);
+  std::printf("accuracy   : F1 %.4f (precision %.4f, recall %.4f) vs trace labels\n", f1.f1,
+              f1.precision, f1.recall);
+  return 0;
+}
+
+int run_simulate(trace::App app, const io::ArtifactInfo& info,
+                 std::shared_ptr<const tabular::TabularPredictor> predictor) {
+  core::PipelineOptions options = core::PipelineOptions::bench_defaults();
+  const trace::MemoryTrace trace =
+      trace::generate(app, options.raw_accesses, common::derive_seed(options.seed, 1));
+
+  sim::Simulator baseline_sim(options.sim);
+  const sim::SimStats baseline = baseline_sim.run(trace, nullptr);
+
+  prefetch::NnAdapterOptions o;
+  o.prep = info.meta.prep;
+  o.degree = options.sim.max_degree;
+  o.latency = static_cast<std::size_t>(info.meta.latency_cycles);
+  prefetch::DartPrefetcher prefetcher(
+      std::move(predictor), o,
+      info.meta.display_name.empty() ? "DART" : info.meta.display_name);
+
+  sim::Simulator sim(options.sim);
+  const sim::SimStats stats = sim.run(trace, &prefetcher);
+  const double improvement =
+      baseline.ipc() > 0.0 ? (stats.ipc() - baseline.ipc()) / baseline.ipc() : 0.0;
+
+  std::printf("simulate   : %s on %s, %llu accesses\n", prefetcher.name().c_str(),
+              trace::app_name(app).c_str(),
+              static_cast<unsigned long long>(stats.llc_accesses));
+  std::printf("  baseline IPC %.3f -> %.3f (%+.1f%%)\n", baseline.ipc(), stats.ipc(),
+              100.0 * improvement);
+  std::printf("  accuracy %.1f%%, coverage %.1f%%, %llu prefetches issued\n",
+              100.0 * stats.accuracy(), 100.0 * stats.coverage(),
+              static_cast<unsigned long long>(stats.pf_issued));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc < 2) return usage(argv[0]);
+  const std::string path = argv[1];
+  bool info_mode = false, bench_mode = false, simulate_mode = false;
+  std::string app_override;
+  std::size_t queries =
+      static_cast<std::size_t>(common::env_int("DART_BENCH_QUERIES", 4096));
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--info") {
+      info_mode = true;
+    } else if (arg == "--bench") {
+      bench_mode = true;
+    } else if (arg == "--simulate") {
+      simulate_mode = true;
+    } else if (arg == "--app") {
+      app_override = value();
+    } else if (arg == "--queries") {
+      queries = static_cast<std::size_t>(std::stoul(value()));
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (!info_mode && !bench_mode && !simulate_mode) info_mode = true;
+
+  // The only load in the binary: everything below serves from memory.
+  common::Stopwatch load_timer;
+  io::ArtifactInfo info;
+  const auto predictor = std::make_shared<const tabular::TabularPredictor>(
+      io::load_predictor_artifact(path, &info));
+  const double load_ms = load_timer.elapsed_ms();
+
+  if (info_mode) {
+    print_info(path, info, *predictor);
+    std::printf("cold start : loaded and validated in %.1f ms\n", load_ms);
+  }
+  if (bench_mode || simulate_mode) {
+    const std::string app_name = !app_override.empty() ? app_override : info.meta.app;
+    if (app_name.empty()) {
+      std::fprintf(stderr, "artifact records no app; pass --app NAME\n");
+      return 2;
+    }
+    const trace::App app = trace::app_from_name(app_name);
+    if (bench_mode) {
+      const int rc = run_bench(app, info, *predictor, queries);
+      if (rc != 0) return rc;
+    }
+    if (simulate_mode) {
+      const int rc = run_simulate(app, info, predictor);
+      if (rc != 0) return rc;
+    }
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}
