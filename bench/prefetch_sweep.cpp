@@ -12,7 +12,10 @@ constexpr const char* kCachePath = "prefetch_sweep_cache.csv";
 
 std::string current_tag(const core::ExperimentSpec& spec) {
   std::ostringstream os;
-  os << "#tag instr=" << spec.pipeline.raw_accesses
+  // engine= names the simulator-semantics generation: bump it whenever
+  // SimStats definitions or event ordering change (DESIGN.md §8), so a
+  // cache written by an older engine cannot be silently reused.
+  os << "#tag engine=2 instr=" << spec.pipeline.raw_accesses
      << " samples=" << spec.pipeline.prep.max_samples
      << " epochs=" << spec.pipeline.teacher_train.epochs << " apps=";
   for (trace::App a : spec.apps.empty() ? trace::all_apps() : spec.apps) {

@@ -334,7 +334,10 @@ ExperimentResult ExperimentRunner::run() {
     prep_tasks.push_back([state, this] {
       state->pipe.prepare();
       sim::Simulator simulator(spec_.pipeline.sim);
-      state->baseline_ipc = simulator.run(state->pipe.raw_trace(), nullptr).ipc();
+      state->baseline_ipc = simulator
+                                .run(state->pipe.raw_trace(), nullptr,
+                                     sim::thread_local_sim_workspace())
+                                .ipc();
     });
   }
   run_tasks(prep_tasks, spec_.parallel);
@@ -358,7 +361,11 @@ ExperimentResult ExperimentRunner::run() {
         std::unique_lock<std::mutex> model_lock;
         if (pf->shares_mutable_model()) model_lock = std::unique_lock(state->mu);
         sim::Simulator simulator(spec_.pipeline.sim);
-        const sim::SimStats stats = simulator.run(state->pipe.raw_trace(), pf.get());
+        // Every cell replays through its worker thread's reusable
+        // workspace: after the pool warms up, a sweep of any size performs
+        // zero steady-state replay allocations.
+        const sim::SimStats stats = simulator.run(state->pipe.raw_trace(), pf.get(),
+                                                  sim::thread_local_sim_workspace());
         cell->spec = spec_text;
         cell->prefetcher = pf->name();
         cell->app = trace::app_name(state->app);

@@ -138,7 +138,9 @@ Pipeline::Pipeline(trace::App app, const PipelineOptions& options) : app_(app), 
 void Pipeline::prepare() {
   if (prepared_) return;
   raw_ = trace::generate(app_, opts_.raw_accesses, common::derive_seed(opts_.seed, 1));
-  llc_ = sim::extract_llc_trace(raw_, opts_.sim);
+  // The calling thread's SimWorkspace supplies the L1/L2 filter state, so
+  // per-app preprocessing reuses cache arrays instead of reallocating.
+  llc_ = sim::extract_llc_trace(raw_, opts_.sim, sim::thread_local_sim_workspace());
   // Guard against workloads that are so cache-friendly the LLC stream is
   // too short to window: fall back to the raw trace.
   const std::size_t need = opts_.prep.history + opts_.prep.lookforward + 64;

@@ -16,11 +16,13 @@ void NextLinePrefetcher::on_access(std::uint64_t block, std::uint64_t /*pc*/, bo
 // -------------------------------------------------------------------- Stride
 
 StridePrefetcher::StridePrefetcher(std::size_t table_entries, std::size_t degree)
-    : table_(table_entries), degree_(degree) {}
+    : table_(table_entries), degree_(degree) {
+  if (table_entries != 0 && (table_entries & (table_entries - 1)) == 0) mask_ = table_entries - 1;
+}
 
 void StridePrefetcher::on_access(std::uint64_t block, std::uint64_t pc, bool /*hit*/,
                                  std::uint64_t /*cycle*/, std::vector<std::uint64_t>& out) {
-  Entry& e = table_[pc % table_.size()];
+  Entry& e = table_[index_of(pc)];
   if (!e.valid || e.pc_tag != pc) {
     e = Entry{pc, block, 0, 0, true};
     return;
@@ -65,14 +67,15 @@ BestOffsetPrefetcher::BestOffsetPrefetcher(const Options& options) : opts_(optio
   }
   scores_.assign(offsets_.size(), 0);
   rr_.assign(opts_.rr_entries, ~0ULL);
+  if (!rr_.empty() && (rr_.size() & (rr_.size() - 1)) == 0) rr_mask_ = rr_.size() - 1;
 }
 
 void BestOffsetPrefetcher::rr_insert(std::uint64_t block) {
-  rr_[block % rr_.size()] = block;
+  rr_[rr_index(block)] = block;
 }
 
 bool BestOffsetPrefetcher::rr_contains(std::uint64_t block) const {
-  return rr_[block % rr_.size()] == block;
+  return rr_[rr_index(block)] == block;
 }
 
 void BestOffsetPrefetcher::end_learning_phase() {
@@ -134,23 +137,25 @@ IsbPrefetcher::IsbPrefetcher() : IsbPrefetcher(Options()) {}
 
 IsbPrefetcher::IsbPrefetcher(const Options& options) : opts_(options) {}
 
-std::uint64_t IsbPrefetcher::assign_structural(std::uint64_t block) {
-  auto it = ps_.find(block);
-  if (it != ps_.end()) return it->second;
-  const std::uint64_t s = next_stream_base_;
-  next_stream_base_ += opts_.stream_granularity;
-  ps_[block] = s;
-  sp_[s] = block;
+void IsbPrefetcher::record_mapping(std::uint64_t block, std::uint64_t structural) {
+  ps_.assign(block, structural);
+  sp_.assign(structural, block);
   fifo_.push_back(block);
   if (fifo_.size() > opts_.max_mappings) {
     const std::uint64_t victim = fifo_.front();
     fifo_.pop_front();
-    auto vit = ps_.find(victim);
-    if (vit != ps_.end()) {
-      sp_.erase(vit->second);
-      ps_.erase(vit);
+    if (const std::uint64_t* vs = ps_.find(victim)) {
+      sp_.erase(*vs);
+      ps_.erase(victim);
     }
   }
+}
+
+std::uint64_t IsbPrefetcher::assign_structural(std::uint64_t block) {
+  if (const std::uint64_t* s = ps_.find(block)) return *s;
+  const std::uint64_t s = next_stream_base_;
+  next_stream_base_ += opts_.stream_granularity;
+  record_mapping(block, s);
   return s;
 }
 
@@ -158,39 +163,27 @@ void IsbPrefetcher::on_access(std::uint64_t block, std::uint64_t pc, bool /*hit*
                               std::uint64_t /*cycle*/, std::vector<std::uint64_t>& out) {
   // Training: link the previous block on this PC's stream to this one by
   // assigning consecutive structural addresses.
-  auto tu = training_unit_.find(pc);
-  if (tu != training_unit_.end() && tu->second != block) {
-    const std::uint64_t prev_struct = assign_structural(tu->second);
+  const std::uint64_t* tu = training_unit_.find(pc);
+  if (tu != nullptr && *tu != block) {
+    const std::uint64_t prev_struct = assign_structural(*tu);
     // Map this block right after its predecessor unless already mapped.
-    if (ps_.find(block) == ps_.end()) {
+    if (ps_.find(block) == nullptr) {
       const std::uint64_t s = prev_struct + 1;
       // Avoid overwriting an existing mapping at s.
-      if (sp_.find(s) == sp_.end()) {
-        ps_[block] = s;
-        sp_[s] = block;
-        fifo_.push_back(block);
-        if (fifo_.size() > opts_.max_mappings) {
-          const std::uint64_t victim = fifo_.front();
-          fifo_.pop_front();
-          auto vit = ps_.find(victim);
-          if (vit != ps_.end()) {
-            sp_.erase(vit->second);
-            ps_.erase(vit);
-          }
-        }
+      if (sp_.find(s) == nullptr) {
+        record_mapping(block, s);
       } else {
         assign_structural(block);
       }
     }
   }
-  training_unit_[pc] = block;
+  training_unit_.assign(pc, block);
 
   // Prediction: successors of this block's structural address.
-  auto it = ps_.find(block);
-  if (it == ps_.end()) return;
+  const std::uint64_t* st = ps_.find(block);
+  if (st == nullptr) return;
   for (std::size_t d = 1; d <= opts_.degree; ++d) {
-    auto nxt = sp_.find(it->second + d);
-    if (nxt != sp_.end()) out.push_back(nxt->second);
+    if (const std::uint64_t* nxt = sp_.find(*st + d)) out.push_back(*nxt);
   }
 }
 

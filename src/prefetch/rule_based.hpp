@@ -8,11 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/prefetcher.hpp"
+#include "sim/workspace.hpp"
 
 namespace dart::prefetch {
 
@@ -22,6 +21,7 @@ class NextLinePrefetcher final : public sim::Prefetcher {
 
   void on_access(std::uint64_t block, std::uint64_t pc, bool hit, std::uint64_t cycle,
                  std::vector<std::uint64_t>& out) override;
+  bool trains_on_fill() const override { return false; }
   std::size_t storage_bytes() const override { return 0; }
   std::string name() const override { return "NextLine"; }
 
@@ -35,6 +35,7 @@ class StridePrefetcher final : public sim::Prefetcher {
 
   void on_access(std::uint64_t block, std::uint64_t pc, bool hit, std::uint64_t cycle,
                  std::vector<std::uint64_t>& out) override;
+  bool trains_on_fill() const override { return false; }
   std::size_t storage_bytes() const override;
   std::string name() const override { return "Stride"; }
 
@@ -46,7 +47,12 @@ class StridePrefetcher final : public sim::Prefetcher {
     int confidence = 0;
     bool valid = false;
   };
+  std::size_t index_of(std::uint64_t pc) const {
+    return mask_ != 0 ? static_cast<std::size_t>(pc & mask_)
+                      : static_cast<std::size_t>(pc % table_.size());
+  }
   std::vector<Entry> table_;
+  std::uint64_t mask_ = 0;  ///< table_.size() - 1 when a power of two
   std::size_t degree_;
 };
 
@@ -79,6 +85,10 @@ class BestOffsetPrefetcher final : public sim::Prefetcher {
   std::int64_t current_offset() const { return best_offset_; }
 
  private:
+  std::size_t rr_index(std::uint64_t block) const {
+    return rr_mask_ != 0 ? static_cast<std::size_t>(block & rr_mask_)
+                         : static_cast<std::size_t>(block % rr_.size());
+  }
   void rr_insert(std::uint64_t block);
   bool rr_contains(std::uint64_t block) const;
   void end_learning_phase();
@@ -87,6 +97,7 @@ class BestOffsetPrefetcher final : public sim::Prefetcher {
   std::vector<std::int64_t> offsets_;  ///< candidate list (±, factors 2/3/5)
   std::vector<int> scores_;
   std::vector<std::uint64_t> rr_;  ///< direct-mapped recent-request table
+  std::uint64_t rr_mask_ = 0;      ///< rr_.size() - 1 when a power of two
   std::size_t test_index_ = 0;     ///< next offset to test
   int round_ = 0;
   std::int64_t best_offset_ = 1;
@@ -113,18 +124,50 @@ class IsbPrefetcher final : public sim::Prefetcher {
 
   void on_access(std::uint64_t block, std::uint64_t pc, bool hit, std::uint64_t cycle,
                  std::vector<std::uint64_t>& out) override;
+  bool trains_on_fill() const override { return false; }
   std::size_t prediction_latency() const override { return opts_.latency; }
   std::size_t storage_bytes() const override;
   std::string name() const override { return "ISB"; }
 
  private:
   std::uint64_t assign_structural(std::uint64_t block);
+  void record_mapping(std::uint64_t block, std::uint64_t structural);
+
+  /// Growable power-of-two ring over a reusable vector: the deque's FIFO
+  /// semantics (push_back / pop_front) without per-segment allocation.
+  class FifoRing {
+   public:
+    std::size_t size() const { return size_; }
+    std::uint64_t front() const { return buf_[head_]; }
+    void pop_front() {
+      head_ = (head_ + 1) & (buf_.size() - 1);
+      --size_;
+    }
+    void push_back(std::uint64_t v) {
+      if (size_ == buf_.size()) grow();
+      buf_[(head_ + size_) & (buf_.size() - 1)] = v;
+      ++size_;
+    }
+
+   private:
+    void grow() {
+      std::vector<std::uint64_t> bigger(buf_.empty() ? 1024 : buf_.size() * 2);
+      for (std::size_t i = 0; i < size_; ++i) {
+        bigger[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+      }
+      buf_.swap(bigger);
+      head_ = 0;
+    }
+    std::vector<std::uint64_t> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+  };
 
   Options opts_;
-  std::unordered_map<std::uint64_t, std::uint64_t> ps_;  ///< physical -> structural
-  std::unordered_map<std::uint64_t, std::uint64_t> sp_;  ///< structural -> physical
-  std::deque<std::uint64_t> fifo_;  ///< insertion order of physical keys
-  std::unordered_map<std::uint64_t, std::uint64_t> training_unit_;  ///< pc -> last block
+  sim::FlatMap64 ps_;  ///< physical -> structural
+  sim::FlatMap64 sp_;  ///< structural -> physical
+  FifoRing fifo_;      ///< insertion order of physical keys
+  sim::FlatMap64 training_unit_;  ///< pc -> last block
   std::uint64_t next_stream_base_ = 0;
 };
 

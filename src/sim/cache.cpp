@@ -1,5 +1,6 @@
 #include "sim/cache.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dart::sim {
@@ -7,73 +8,40 @@ namespace dart::sim {
 Cache::Cache(std::size_t size_bytes, std::size_t ways, std::size_t line_bytes)
     : sets_(size_bytes / (ways * line_bytes)), ways_(ways) {
   if (sets_ == 0) throw std::invalid_argument("Cache: zero sets");
-  lines_.assign(sets_ * ways_, Line{});
-}
-
-bool Cache::access(std::uint64_t block) {
-  ++stat_accesses_;
-  last_useful_ = false;
-  const std::size_t set = set_of(block);
-  const std::uint64_t tag = tag_of(block);
-  Line* base = lines_.data() + set * ways_;
-  for (std::size_t w = 0; w < ways_; ++w) {
-    Line& line = base[w];
-    if (line.valid && line.tag == tag) {
-      ++stat_hits_;
-      line.lru = ++tick_;
-      if (line.prefetched && !line.used) {
-        line.used = true;
-        ++stat_useful_;
-        last_useful_ = true;
-      }
-      return true;
-    }
+  if ((sets_ & (sets_ - 1)) == 0) {
+    set_mask_ = sets_ - 1;
+    set_shift_ = 0;
+    while ((std::size_t{1} << set_shift_) < sets_) ++set_shift_;
+  } else {
+#ifdef __SIZEOF_INT128__
+    // floor(log2(sets_)) and the 64-bit reciprocal; sets_ is not a power of
+    // two here, so floor(2^(64+s) / sets_) < 2^64 always fits.
+    while ((std::size_t{1} << (magic_shift_ + 1)) < sets_) ++magic_shift_;
+    magic_ = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(1) << (64 + magic_shift_)) / sets_);
+#endif
   }
-  return false;
-}
-
-bool Cache::contains(std::uint64_t block) const {
-  const std::size_t set = set_of(block);
-  const std::uint64_t tag = tag_of(block);
-  const Line* base = lines_.data() + set * ways_;
-  for (std::size_t w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == tag) return true;
+  tags_.assign(sets_ * ways_, 0);
+  fill_.assign(sets_, 0);
+  if (ways_ <= kMaxPackedWays) {
+    order_.assign(sets_, kIdentityOrder);
+    pf_flags_.assign(sets_, 0);
+  } else {
+    // Wide-associativity fallback: per-line timestamps and flag bytes.
+    slow_lru_.assign(sets_ * ways_, 0);
+    slow_flags_.assign(sets_ * ways_, 0);
   }
-  return false;
-}
-
-Cache::EvictInfo Cache::insert(std::uint64_t block, bool prefetched) {
-  EvictInfo info;
-  const std::size_t set = set_of(block);
-  const std::uint64_t tag = tag_of(block);
-  Line* base = lines_.data() + set * ways_;
-  Line* victim = nullptr;
-  for (std::size_t w = 0; w < ways_; ++w) {
-    Line& line = base[w];
-    if (line.valid && line.tag == tag) return info;  // already present
-    if (!line.valid) {
-      if (victim == nullptr || victim->valid) victim = &line;
-    } else if (victim == nullptr || (victim->valid && line.lru < victim->lru)) {
-      victim = &line;
-    }
-  }
-  if (victim->valid) {
-    info.evicted = true;
-    info.victim_block = victim->tag * sets_ + set;
-    info.victim_prefetched = victim->prefetched;
-    info.victim_used = victim->used;
-    if (victim->prefetched && !victim->used) ++stat_unused_evict_;
-  }
-  victim->valid = true;
-  victim->tag = tag;
-  victim->lru = ++tick_;
-  victim->prefetched = prefetched;
-  victim->used = false;
-  return info;
 }
 
 void Cache::reset_stats() {
   stat_accesses_ = stat_hits_ = stat_useful_ = stat_unused_evict_ = 0;
+}
+
+void Cache::reset() {
+  std::fill(fill_.begin(), fill_.end(), 0);
+  slow_tick_ = 0;
+  last_useful_ = false;
+  reset_stats();
 }
 
 }  // namespace dart::sim

@@ -1,9 +1,39 @@
 // Set-associative cache with true-LRU replacement and per-line prefetch
 // bookkeeping (prefetched / used bits for accuracy accounting).
+//
+// Layout (DESIGN.md §8): the replay loop probes a cache on every access, so
+// state is split by access frequency. The hot `tags_` array holds one
+// 64-bit tag per line and is the only thing a lookup touches — a 16-way
+// set is two cache lines of tags instead of eight cache lines of AoS
+// `Line` structs. All per-set metadata packs into two words:
+//
+//  * `order_[set]` — the set's entire true-LRU state as a base-16
+//    permutation of way indices, most recent in nibble 0. A hit is a SWAR
+//    move-to-front (~8 ALU ops, no loads); the victim of a full set is
+//    read from the last live nibble in O(1), replacing the former
+//    O(ways) timestamp argmin scan. Sets wider than 16 ways fall back to
+//    per-line timestamps in `slow_lru_`.
+//  * `pf_flags_[set]` — two bits per way (prefetched / used).
+//
+// There is no valid bit: lines fill each set in way order (the victim rule
+// prefers the first unused way), so the live lines of a set are exactly the
+// prefix [0, fill_[set]) and a probe scans only that prefix.
+//
+// Set indexing uses shift/mask when the set count is a power of two (the
+// default L2/LLC geometries) and a Granlund–Montgomery style multiply-high
+// reciprocal otherwise (the default L1 has 85 sets) — one widening multiply
+// plus a conditional fixup instead of a hardware divide. Geometry, and
+// therefore every simulated outcome, is identical either way.
+//
+// The probe methods live in the header so the replay loop inlines them.
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
 
 namespace dart::sim {
 
@@ -18,10 +48,32 @@ class Cache {
   /// Demand access: updates LRU; returns true on hit. A hit on a line whose
   /// prefetched bit is set marks it used (counted once as a useful
   /// prefetch).
-  bool access(std::uint64_t block);
+  bool access(std::uint64_t block) {
+    ++stat_accesses_;
+    last_useful_ = false;
+    std::size_t set;
+    std::uint64_t tag;
+    split(block, set, tag);
+    const int w = find_way(tags_.data() + set * ways_, fill_[set], tag);
+    if (w < 0) return false;
+    ++stat_hits_;
+    const std::size_t way = static_cast<std::size_t>(w);
+    if (get_flags(set, way) == kPrefetchedFlag) {  // prefetched, not yet used
+      or_flags(set, way, kUsedFlag);
+      ++stat_useful_;
+      last_useful_ = true;
+    }
+    touch(set, way);
+    return true;
+  }
 
   /// Presence check with no state update.
-  bool contains(std::uint64_t block) const;
+  bool contains(std::uint64_t block) const {
+    std::size_t set;
+    std::uint64_t tag;
+    split(block, set, tag);
+    return find_way(tags_.data() + set * ways_, fill_[set], tag) >= 0;
+  }
 
   struct EvictInfo {
     bool evicted = false;          ///< a valid line was displaced
@@ -32,7 +84,46 @@ class Cache {
 
   /// Fills `block` (no-op if already present); `prefetched` tags prefetch
   /// fills. Returns information about the displaced victim.
-  EvictInfo insert(std::uint64_t block, bool prefetched);
+  EvictInfo insert(std::uint64_t block, bool prefetched) {
+    std::size_t set;
+    std::uint64_t tag;
+    split(block, set, tag);
+    if (find_way(tags_.data() + set * ways_, fill_[set], tag) >= 0) {
+      return EvictInfo{};  // already present
+    }
+    return fill_at(set, tag, prefetched);
+  }
+
+  /// Fills `block` assuming it is absent — the caller just observed a miss
+  /// on this cache and nothing touched it since (the replay loop's
+  /// access-miss -> fill sequence). Skips the presence re-scan.
+  EvictInfo fill(std::uint64_t block, bool prefetched) {
+    std::size_t set;
+    std::uint64_t tag;
+    split(block, set, tag);
+    return fill_at(set, tag, prefetched);
+  }
+
+  /// Hints the host CPU to pull `block`'s set (its tag row) into the host
+  /// caches. The replay loop issues this for upcoming trace entries so
+  /// host-memory latency overlaps with simulation work; it never changes
+  /// simulated state.
+  void prefetch_set(std::uint64_t block) const {
+#if defined(__GNUC__) || defined(__clang__)
+    std::size_t set;
+    std::uint64_t tag;
+    split(block, set, tag);
+    const std::size_t base = set * ways_;
+    // A set's tag row is ways_*8 bytes; touch every host line it spans
+    // (2 for the 16-way LLC).
+    for (std::size_t w = 0; w < ways_; w += 8) {
+      __builtin_prefetch(tags_.data() + base + w);
+    }
+    if (ways_ <= kMaxPackedWays) __builtin_prefetch(order_.data() + set);
+#else
+    (void)block;
+#endif
+  }
 
   /// True if the last `access()` hit a prefetched line for the first time.
   bool last_hit_was_useful_prefetch() const { return last_useful_; }
@@ -46,22 +137,193 @@ class Cache {
 
   void reset_stats();
 
- private:
-  struct Line {
-    std::uint64_t tag = 0;
-    std::uint64_t lru = 0;  ///< global timestamp; larger = more recent
-    bool valid = false;
-    bool prefetched = false;
-    bool used = false;
-  };
+  /// Invalidates every line and zeroes statistics: equivalent to a freshly
+  /// constructed cache of the same geometry, without releasing the arrays.
+  /// O(sets), not O(lines): only the per-set fill counters are cleared (the
+  /// recency words stay valid — they are permutations regardless of
+  /// history, and flags are rewritten on fill).
+  /// Lets a SimWorkspace reuse cache storage across `Simulator::run` calls.
+  void reset();
 
-  std::size_t set_of(std::uint64_t block) const { return block % sets_; }
-  std::uint64_t tag_of(std::uint64_t block) const { return block / sets_; }
+ private:
+  static constexpr std::uint32_t kPrefetchedFlag = 1u;
+  static constexpr std::uint32_t kUsedFlag = 2u;
+  static constexpr std::size_t kMaxPackedWays = 16;
+  static constexpr std::uint64_t kNibbleOnes = 0x1111111111111111ull;
+  static constexpr std::uint64_t kNibbleHighs = 0x8888888888888888ull;
+  static constexpr std::uint64_t kIdentityOrder = 0xFEDCBA9876543210ull;
+
+  /// Index of `tag` among the first `live` ways of a set's tag row, or -1.
+  /// AVX2 builds compare four tags per step (one branch per vector instead
+  /// of one per way — an LLC set probe is 4 checks instead of 16); other
+  /// builds use the equivalent scalar scan. A hit reports the lowest
+  /// matching way; live tags are unique within a set, so any match is it.
+  static int find_way(const std::uint64_t* tags, std::size_t live, std::uint64_t tag) {
+    std::size_t w = 0;
+#if defined(__AVX2__)
+    const __m256i needle = _mm256_set1_epi64x(static_cast<long long>(tag));
+    for (; w + 4 <= live; w += 4) {
+      const __m256i row =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags + w));
+      const int m = _mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpeq_epi64(row, needle)));
+      if (m != 0) return static_cast<int>(w) + __builtin_ctz(static_cast<unsigned>(m));
+    }
+#endif
+    for (; w < live; ++w) {
+      if (tags[w] == tag) return static_cast<int>(w);
+    }
+    return -1;
+  }
+
+  /// set = block % sets_, tag = block / sets_, by shift/mask (power-of-two
+  /// set counts) or multiply-high reciprocal (exact for every uint64 block:
+  /// with m = floor(2^(64+s) / d), s = floor(log2 d), the estimate
+  /// q = (m * block) >> (64+s) is floor(block/d) or one less, so a single
+  /// conditional correction restores the exact quotient).
+  void split(std::uint64_t block, std::size_t& set, std::uint64_t& tag) const {
+    if (set_shift_ >= 0) {
+      set = static_cast<std::size_t>(block & set_mask_);
+      tag = block >> set_shift_;
+      return;
+    }
+#ifdef __SIZEOF_INT128__
+    std::uint64_t q = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(magic_) * block) >> 64) >> magic_shift_;
+    std::uint64_t r = block - q * sets_;
+    if (r >= sets_) {
+      r -= sets_;
+      ++q;
+    }
+    set = static_cast<std::size_t>(r);
+    tag = q;
+#else
+    set = static_cast<std::size_t>(block % sets_);
+    tag = block / sets_;
+#endif
+  }
+
+  /// Position (0 = most recent) of way `w` in the set's recency word.
+  /// SWAR zero-nibble search: the recency word is a permutation of 0..15,
+  /// so exactly one nibble matches and the lowest set bit of the detector
+  /// is reliable even across subtraction borrows.
+  static std::size_t order_pos(std::uint64_t order, std::size_t w) {
+    const std::uint64_t x = order ^ (kNibbleOnes * w);
+    const std::uint64_t zeros = (x - kNibbleOnes) & ~x & kNibbleHighs;
+    return static_cast<std::size_t>(ctz64(zeros)) / 4;
+  }
+
+  /// Moves the nibble at position `p` to position 0, shifting positions
+  /// 0..p-1 one nibble deeper. Positions above p are unchanged. The double
+  /// shifts keep every shift amount < 64 for p = 15.
+  static std::uint64_t order_move_to_front(std::uint64_t order, std::size_t p,
+                                           std::uint64_t way) {
+    const std::uint64_t below = order & ((std::uint64_t{1} << (4 * p)) - 1);
+    const std::uint64_t above = ((order >> 4) >> (4 * p) << (4 * p)) << 4;
+    return above | (below << 4) | way;
+  }
+
+  static int ctz64(std::uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_ctzll(v);
+#else
+    int c = 0;
+    while ((v & 1) == 0) {
+      v >>= 1;
+      ++c;
+    }
+    return c;
+#endif
+  }
+
+  // Per-way prefetched/used flag access: one packed word per set up to 16
+  // ways, one byte per line beyond.
+  std::uint32_t get_flags(std::size_t set, std::size_t way) const {
+    return ways_ <= kMaxPackedWays ? (pf_flags_[set] >> (2 * way)) & 3u
+                                   : slow_flags_[set * ways_ + way];
+  }
+  void or_flags(std::size_t set, std::size_t way, std::uint32_t f) {
+    if (ways_ <= kMaxPackedWays) {
+      pf_flags_[set] |= f << (2 * way);
+    } else {
+      slow_flags_[set * ways_ + way] |= static_cast<std::uint8_t>(f);
+    }
+  }
+  void put_flags(std::size_t set, std::size_t way, std::uint32_t f) {
+    if (ways_ <= kMaxPackedWays) {
+      pf_flags_[set] = (pf_flags_[set] & ~(3u << (2 * way))) | (f << (2 * way));
+    } else {
+      slow_flags_[set * ways_ + way] = static_cast<std::uint8_t>(f);
+    }
+  }
+
+  /// Marks `way` most recently used.
+  void touch(std::size_t set, std::size_t way) {
+    if (ways_ <= kMaxPackedWays) {
+      std::uint64_t& order = order_[set];
+      order = order_move_to_front(order, order_pos(order, way), way);
+    } else {
+      slow_lru_[set * ways_ + way] = ++slow_tick_;
+    }
+  }
+
+  /// Victim selection + line write for a known-absent tag: the first unused
+  /// way while the set is filling (the AoS scan's "first invalid way"
+  /// rule), else the least-recently-used way.
+  EvictInfo fill_at(std::size_t set, std::uint64_t tag, bool prefetched) {
+    EvictInfo info;
+    std::size_t victim;
+    if (fill_[set] < ways_) {
+      victim = fill_[set]++;
+    } else {
+      victim = lru_victim(set);
+      const std::uint32_t vf = get_flags(set, victim);
+      info.evicted = true;
+      info.victim_block = tags_[set * ways_ + victim] * sets_ + set;
+      info.victim_prefetched = (vf & kPrefetchedFlag) != 0;
+      info.victim_used = (vf & kUsedFlag) != 0;
+      if (vf == kPrefetchedFlag) ++stat_unused_evict_;
+    }
+    tags_[set * ways_ + victim] = tag;
+    put_flags(set, victim, prefetched ? kPrefetchedFlag : 0u);
+    touch(set, victim);
+    return info;
+  }
+
+  /// Least-recently-used way of a full set: the deepest live nibble of the
+  /// recency word (O(1)), or the timestamp argmin for wide sets.
+  std::size_t lru_victim(std::size_t set) const {
+    if (ways_ <= kMaxPackedWays) {
+      return static_cast<std::size_t>((order_[set] >> (4 * (ways_ - 1))) & 0xF);
+    }
+    const std::uint64_t* lru = slow_lru_.data() + set * ways_;
+    std::size_t victim = 0;
+    std::uint64_t best = lru[0];
+    for (std::size_t w = 1; w < ways_; ++w) {
+      if (lru[w] < best) {
+        best = lru[w];
+        victim = w;
+      }
+    }
+    return victim;
+  }
 
   std::size_t sets_;
   std::size_t ways_;
-  std::vector<Line> lines_;  ///< sets_ * ways_, row-major by set
-  std::uint64_t tick_ = 0;
+  int set_shift_ = -1;           ///< log2(sets_) when a power of two, else -1
+  std::uint64_t set_mask_ = 0;   ///< sets_ - 1 when a power of two
+  std::uint64_t magic_ = 0;      ///< floor(2^(64+magic_shift_) / sets_)
+  unsigned magic_shift_ = 0;     ///< floor(log2(sets_))
+
+  std::vector<std::uint64_t> tags_;      ///< hot: sets_ * ways_, row-major by set
+  std::vector<std::uint64_t> order_;     ///< per-set nibble-packed LRU order
+  std::vector<std::uint32_t> pf_flags_;  ///< per-set 2-bit/way prefetch flags
+  std::vector<std::uint16_t> fill_;      ///< per-set live-way count
+  // Wide-associativity (> 16 ways) fallback state: per-line timestamps and
+  // flag bytes instead of the packed per-set words.
+  std::vector<std::uint64_t> slow_lru_;
+  std::vector<std::uint8_t> slow_flags_;
+  std::uint64_t slow_tick_ = 0;
   bool last_useful_ = false;
 
   std::uint64_t stat_accesses_ = 0;

@@ -37,6 +37,12 @@ class Prefetcher {
     (void)was_prefetch;
   }
 
+  /// True when `on_fill` observes fill events. Prefetchers whose `on_fill`
+  /// is a no-op may return false so the simulator skips demand-fill event
+  /// queueing entirely (observationally identical, cheaper replay). The
+  /// conservative default keeps any overridden `on_fill` working.
+  virtual bool trains_on_fill() const { return true; }
+
   /// Cycles between a trigger access and the prefetch becoming issueable.
   virtual std::size_t prediction_latency() const { return 0; }
 

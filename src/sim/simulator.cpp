@@ -1,82 +1,123 @@
 #include "sim/simulator.hpp"
 
-#include <deque>
-#include <queue>
-#include <unordered_map>
-#include <vector>
-
 namespace dart::sim {
 
 namespace {
 
-/// Pending prefetch fill, ordered by fill time.
-struct PendingFill {
-  std::uint64_t fill_time;
-  std::uint64_t block;
-  bool operator>(const PendingFill& o) const { return fill_time > o.fill_time; }
+/// Front-end cycle of an instruction id: a shift when `issue_width` is a
+/// power of two (every shipped config), one division otherwise. This runs
+/// once per access, so the strength reduction is worth the branch.
+struct WidthDiv {
+  explicit WidthDiv(std::size_t w) : width(w) {
+    if (w != 0 && (w & (w - 1)) == 0) {
+      while ((std::size_t{1} << shift) < w) ++shift;
+      pow2 = true;
+    }
+  }
+  std::uint64_t operator()(std::uint64_t x) const { return pow2 ? x >> shift : x / width; }
+
+  std::size_t width;
+  unsigned shift = 0;
+  bool pow2 = false;
 };
 
 }  // namespace
 
 SimStats Simulator::run(const trace::MemoryTrace& trace, Prefetcher* prefetcher) {
+  return run(trace, prefetcher, thread_local_sim_workspace());
+}
+
+SimStats Simulator::run(const trace::MemoryTrace& trace, Prefetcher* prefetcher,
+                        SimWorkspace& ws) {
   SimStats stats;
-  Cache l1(config_.l1_size, config_.l1_ways);
-  Cache l2(config_.l2_size, config_.l2_ways);
-  Cache llc(config_.llc_size, config_.llc_ways);
+  Cache& l1 = ws.l1.ensure(config_.l1_size, config_.l1_ways);
+  Cache& l2 = ws.l2.ensure(config_.l2_size, config_.l2_ways);
+  Cache& llc = ws.llc.ensure(config_.llc_size, config_.llc_ways);
 
   // In-order issue / commit bookkeeping: (instr_id, completion time) of
-  // outstanding memory instructions, oldest first.
-  std::deque<std::pair<std::uint64_t, std::uint64_t>> window;
-  // Outstanding LLC->DRAM demand misses (completion times, min-heap).
-  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>, std::greater<>> mshr;
-  // In-flight prefetches: block -> fill time + ordered fill queue.
-  std::unordered_map<std::uint64_t, std::uint64_t> inflight_pf;
-  std::priority_queue<PendingFill, std::vector<PendingFill>, std::greater<>> fill_queue;
+  // outstanding memory instructions, oldest first. Bounded by the LSQ.
+  InstrRing& window = ws.window;
+  window.reset(config_.lsq_entries > 0 ? config_.lsq_entries : 1);
+  // Outstanding LLC->DRAM demand misses (completion times, time-ordered).
+  TimeRing& mshr = ws.mshr;
+  mshr.clear();
+  // In-flight prefetches: block -> fill time + totally ordered fill queue.
+  FlatMap64& inflight_pf = ws.inflight;
+  inflight_pf.reset();
+  FillRing& fill_queue = ws.fills;
+  fill_queue.clear();
   // Demand fills notify the prefetcher when the line actually arrives, not
   // at issue time — BO's offset scoring depends on fill timing.
-  std::priority_queue<PendingFill, std::vector<PendingFill>, std::greater<>> demand_fill_queue;
+  FillRing& demand_fill_queue = ws.demand_fills;
+  demand_fill_queue.clear();
+  std::vector<std::uint64_t>& pf_candidates = ws.pf_candidates;
+  // Demand-fill events exist only to train the prefetcher; skip the queue
+  // when there is nobody to notify.
+  const bool notify_fills = prefetcher != nullptr && prefetcher->trains_on_fill();
 
-  std::vector<std::uint64_t> pf_candidates;
   std::uint64_t last_commit = 0;
   std::uint64_t prev_issue = 0;
+  std::uint64_t fill_seq = 0;
 
-  const std::uint64_t demand_miss_latency =
-      config_.l1_latency + config_.l2_latency + config_.llc_latency + config_.dram_latency;
+  const WidthDiv front_end_cycle(config_.issue_width);
+  const std::uint64_t hier_latency =
+      config_.l1_latency + config_.l2_latency + config_.llc_latency;
+  const std::uint64_t demand_miss_latency = hier_latency + config_.dram_latency;
 
-  for (const auto& acc : trace) {
+  // Distance (in trace entries) at which upcoming cache sets are hinted to
+  // the host CPU: far enough to cover host-memory latency with one
+  // iteration of simulation work, near enough to stay timely.
+  constexpr std::size_t kLookahead = 2;
+
+  const std::size_t n = trace.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::MemoryAccess& acc = trace[i];
     const std::uint64_t block = trace::block_of(acc.addr);
+
+    if (i + kLookahead < n) {
+      const std::uint64_t next = trace::block_of(trace[i + kLookahead].addr);
+      l1.prefetch_set(next);
+      l2.prefetch_set(next);
+      llc.prefetch_set(next);
+    }
+    // The next pending prefetch fill will probe and insert into its LLC
+    // set shortly; start pulling that set in as well.
+    if (!fill_queue.empty()) llc.prefetch_set(fill_queue.top().block);
 
     // Earliest cycle this instruction could issue on a 4-wide front end,
     // respecting program order.
-    std::uint64_t t = acc.instr_id / config_.issue_width;
+    std::uint64_t t = front_end_cycle(acc.instr_id);
     if (t < prev_issue) t = prev_issue;
 
     // ROB limit: the instruction `rob_entries` older must have committed.
-    while (!window.empty() && window.front().first + config_.rob_entries <= acc.instr_id) {
-      t = std::max(t, window.front().second);
+    while (!window.empty() && window.front_id() + config_.rob_entries <= acc.instr_id) {
+      if (window.front_complete() > t) t = window.front_complete();
       window.pop_front();
     }
     // LSQ limit: bounded outstanding memory instructions.
-    while (window.size() >= config_.lsq_entries) {
-      t = std::max(t, window.front().second);
+    while (!window.empty() && window.size() >= config_.lsq_entries) {
+      if (window.front_complete() > t) t = window.front_complete();
       window.pop_front();
     }
 
     // Notify completed demand fills.
-    while (prefetcher != nullptr && !demand_fill_queue.empty() &&
-           demand_fill_queue.top().fill_time <= t) {
-      prefetcher->on_fill(demand_fill_queue.top().block, /*was_prefetch=*/false);
-      demand_fill_queue.pop();
+    if (notify_fills) {
+      while (!demand_fill_queue.empty() && demand_fill_queue.top().time <= t) {
+        prefetcher->on_fill(demand_fill_queue.top().block, /*was_prefetch=*/false);
+        demand_fill_queue.pop();
+      }
     }
     // Apply prefetch fills that have landed by now.
-    while (!fill_queue.empty() && fill_queue.top().fill_time <= t) {
-      const PendingFill f = fill_queue.top();
+    while (!fill_queue.empty() && fill_queue.top().time <= t) {
+      const FillEvent f = fill_queue.top();
       fill_queue.pop();
-      auto it = inflight_pf.find(f.block);
-      if (it != inflight_pf.end() && it->second == f.fill_time) {
+      const FlatMap64::Probe p = inflight_pf.probe(f.block);
+      // A stale event (its prefetch was superseded or consumed) no longer
+      // matches the in-flight fill time and is discarded.
+      if (p.found && inflight_pf.value_at(p.slot) == f.time) {
         llc.insert(f.block, /*prefetched=*/true);
         if (prefetcher != nullptr) prefetcher->on_fill(f.block, /*was_prefetch=*/true);
-        inflight_pf.erase(it);
+        inflight_pf.erase_at(p.slot);
       }
     }
 
@@ -86,7 +127,7 @@ SimStats Simulator::run(const trace::MemoryTrace& trace, Prefetcher* prefetcher)
       complete = t + config_.l1_latency;
     } else if (l2.access(block)) {
       complete = t + config_.l1_latency + config_.l2_latency;
-      l1.insert(block, false);
+      l1.fill(block, false);
     } else {
       // The access reaches the LLC: the prefetcher observes it.
       ++stats.llc_accesses;
@@ -94,43 +135,52 @@ SimStats Simulator::run(const trace::MemoryTrace& trace, Prefetcher* prefetcher)
       if (llc_hit) {
         ++stats.llc_hits;
         if (llc.last_hit_was_useful_prefetch()) ++stats.pf_useful;
-        complete = t + config_.l1_latency + config_.l2_latency + config_.llc_latency;
+        complete = t + hier_latency;
+        // Retire completed misses on the hit path too: a long hit run must
+        // not preserve stale MSHR entries (`t` is monotone, so entries at
+        // or before `t` can never delay a later miss).
+        while (!mshr.empty() && mshr.top() <= t) mshr.pop();
       } else {
-        auto pf_it = inflight_pf.find(block);
-        if (pf_it != inflight_pf.end() && pf_it->second <= t + demand_miss_latency) {
+        const FlatMap64::Probe p = inflight_pf.probe(block);
+        const bool in_flight = p.found;
+        const std::uint64_t pf_fill =
+            in_flight ? inflight_pf.value_at(p.slot) : 0;
+        if (in_flight && pf_fill <= t + demand_miss_latency) {
           // Late-but-useful prefetch: the line arrives sooner than a fresh
           // demand fetch would, so the demand waits for the fill.
           ++stats.pf_late;
-          complete = std::max(
-              t + config_.l1_latency + config_.l2_latency + config_.llc_latency,
-              pf_it->second);
-          llc.insert(block, false);
-          inflight_pf.erase(pf_it);
+          complete = t + hier_latency;
+          if (pf_fill > complete) complete = pf_fill;
+          llc.fill(block, false);
+          inflight_pf.erase_at(p.slot);
         } else {
           // Too-late prefetch (fill would land after a demand fetch): the
           // demand issues its own DRAM access and the prefetch is wasted.
-          if (pf_it != inflight_pf.end()) inflight_pf.erase(pf_it);
+          if (in_flight) inflight_pf.erase_at(p.slot);
           // Full DRAM miss, gated by LLC MSHR availability.
           ++stats.llc_demand_misses;
           std::uint64_t issue = t;
-          while (mshr.size() >= config_.llc_mshrs) {
-            issue = std::max(issue, mshr.top());
+          while (!mshr.empty() && mshr.size() >= config_.llc_mshrs) {
+            if (mshr.top() > issue) issue = mshr.top();
             mshr.pop();
           }
           complete = issue + demand_miss_latency;
           mshr.push(complete);
           while (!mshr.empty() && mshr.top() <= t) mshr.pop();
-          llc.insert(block, false);
-          if (prefetcher != nullptr) demand_fill_queue.push({complete, block});
+          llc.fill(block, false);
+          if (notify_fills) demand_fill_queue.push({complete, fill_seq++, block});
         }
-        l2.insert(block, false);
-        l1.insert(block, false);
+        l2.fill(block, false);
+        l1.fill(block, false);
       }
 
       // --- Prefetcher trigger ----------------------------------------------
       if (prefetcher != nullptr) {
         pf_candidates.clear();
         prefetcher->on_access(block, acc.pc, llc_hit, t, pf_candidates);
+        // Overlap the admission loop's LLC duplicate probes: hint every
+        // candidate's set before the first dependent load.
+        for (std::uint64_t cand : pf_candidates) llc.prefetch_set(cand);
         const std::uint64_t ready = t + prefetcher->prediction_latency();
         std::size_t accepted = 0;
         for (std::uint64_t cand : pf_candidates) {
@@ -138,47 +188,68 @@ SimStats Simulator::run(const trace::MemoryTrace& trace, Prefetcher* prefetcher)
             ++stats.pf_dropped;
             continue;
           }
-          if (llc.contains(cand) || inflight_pf.count(cand) != 0) {
+          if (llc.contains(cand)) {
             ++stats.pf_dropped;
             continue;
           }
-          if (inflight_pf.size() >= config_.prefetch_queue) {
+          // Single probe: the duplicate check's miss position doubles as
+          // the insert slot.
+          const FlatMap64::Probe cp = inflight_pf.probe(cand);
+          if (cp.found || inflight_pf.size() >= config_.prefetch_queue) {
             ++stats.pf_dropped;
             continue;
           }
           const std::uint64_t fill_time = ready + config_.dram_latency;
-          inflight_pf.emplace(cand, fill_time);
-          fill_queue.push({fill_time, cand});
+          inflight_pf.insert_at(cp, cand, fill_time);
+          fill_queue.push({fill_time, fill_seq++, cand});
           ++stats.pf_issued;
           ++accepted;
         }
       }
     }
 
-    window.emplace_back(acc.instr_id, complete);
-    last_commit = std::max(last_commit, complete);
+    window.push_back(acc.instr_id, complete);
+    if (complete > last_commit) last_commit = complete;
     prev_issue = t;
   }
 
-  stats.instructions = trace.empty() ? 0 : trace.back().instr_id;
-  const std::uint64_t front_end = stats.instructions / config_.issue_width;
-  stats.cycles = std::max(last_commit, front_end);
+  if (!trace.empty()) {
+    // Robust to traces whose ids do not start at zero: the id span of the
+    // endpoints, inclusive.
+    stats.instructions = trace.back().instr_id - trace.front().instr_id + 1;
+  }
+  const std::uint64_t front_end = front_end_cycle(stats.instructions);
+  stats.cycles = last_commit > front_end ? last_commit : front_end;
   return stats;
 }
 
 trace::MemoryTrace extract_llc_trace(const trace::MemoryTrace& raw, const SimConfig& config) {
-  Cache l1(config.l1_size, config.l1_ways);
-  Cache l2(config.l2_size, config.l2_ways);
+  return extract_llc_trace(raw, config, thread_local_sim_workspace());
+}
+
+trace::MemoryTrace extract_llc_trace(const trace::MemoryTrace& raw, const SimConfig& config,
+                                     SimWorkspace& ws) {
+  Cache& l1 = ws.l1.ensure(config.l1_size, config.l1_ways);
+  Cache& l2 = ws.l2.ensure(config.l2_size, config.l2_ways);
   trace::MemoryTrace out;
-  for (const auto& acc : raw) {
+  out.reserve(raw.size());
+  constexpr std::size_t kLookahead = 2;
+  const std::size_t n = raw.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::MemoryAccess& acc = raw[i];
     const std::uint64_t block = trace::block_of(acc.addr);
+    if (i + kLookahead < n) {
+      const std::uint64_t next = trace::block_of(raw[i + kLookahead].addr);
+      l1.prefetch_set(next);
+      l2.prefetch_set(next);
+    }
     if (l1.access(block)) continue;
     if (l2.access(block)) {
-      l1.insert(block, false);
+      l1.fill(block, false);
       continue;
     }
-    l2.insert(block, false);
-    l1.insert(block, false);
+    l2.fill(block, false);
+    l1.fill(block, false);
     out.push_back(acc);
   }
   return out;

@@ -7,6 +7,13 @@
 // traces), but reproduces the mechanisms the paper's evaluation depends on:
 // miss overlap bounded by ROB/MSHRs, prefetch timeliness as a function of
 // predictor latency, and IPC sensitivity to LLC misses.
+//
+// The replay loop is the sweep bottleneck (every ExperimentRunner cell pays
+// it in full), so its hot path is allocation-free: all mutable state lives
+// in a reusable `SimWorkspace` (DESIGN.md §8), and the convenience
+// overloads draw from the calling thread's workspace. Results are
+// bit-identical to the straight-line reference implementation in
+// tests/sim_reference_test.cpp.
 #pragma once
 
 #include <cstdint>
@@ -14,11 +21,15 @@
 #include "sim/cache.hpp"
 #include "sim/config.hpp"
 #include "sim/prefetcher.hpp"
+#include "sim/workspace.hpp"
 #include "trace/trace.hpp"
 
 namespace dart::sim {
 
 struct SimStats {
+  /// Instructions covered by the trace: `instr_id` span of its endpoints
+  /// (+1), so traces whose ids do not start near zero still report a
+  /// meaningful IPC.
   std::uint64_t instructions = 0;
   std::uint64_t cycles = 0;
 
@@ -53,8 +64,13 @@ class Simulator {
  public:
   explicit Simulator(const SimConfig& config) : config_(config) {}
 
-  /// Runs the trace with an optional LLC prefetcher (nullptr = baseline).
+  /// Runs the trace with an optional LLC prefetcher (nullptr = baseline),
+  /// replaying through the calling thread's workspace.
   SimStats run(const trace::MemoryTrace& trace, Prefetcher* prefetcher = nullptr);
+
+  /// Same, replaying through an explicit workspace (zero steady-state
+  /// allocation when `ws` is reused across runs).
+  SimStats run(const trace::MemoryTrace& trace, Prefetcher* prefetcher, SimWorkspace& ws);
 
   const SimConfig& config() const { return config_; }
 
@@ -64,7 +80,12 @@ class Simulator {
 
 /// Functionally filters a raw access trace through L1D and L2, returning the
 /// accesses that reach the LLC — the paper's "memory access trace extracted
-/// from the last level cache" (§VI-A) used to train the predictors.
+/// from the last level cache" (§VI-A) used to train the predictors. Uses the
+/// calling thread's workspace.
 trace::MemoryTrace extract_llc_trace(const trace::MemoryTrace& raw, const SimConfig& config);
+
+/// Same, filtering through an explicit workspace's L1/L2.
+trace::MemoryTrace extract_llc_trace(const trace::MemoryTrace& raw, const SimConfig& config,
+                                     SimWorkspace& ws);
 
 }  // namespace dart::sim

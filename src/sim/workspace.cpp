@@ -1,0 +1,10 @@
+#include "sim/workspace.hpp"
+
+namespace dart::sim {
+
+SimWorkspace& thread_local_sim_workspace() {
+  thread_local SimWorkspace ws;
+  return ws;
+}
+
+}  // namespace dart::sim

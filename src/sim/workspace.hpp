@@ -1,0 +1,324 @@
+// Reusable simulator arena (DESIGN.md §8), mirroring
+// tabular::InferenceWorkspace on the replay side.
+//
+// One `Simulator::run` needs an in-order instruction window, an in-flight
+// prefetch table, and three time-ordered event queues. Allocating them per
+// run (and per node, as std::deque / std::unordered_map / priority_queue
+// do) dominates sweep wall-clock once the per-access work is lean, so every
+// replay entry point takes a `SimWorkspace&` holding flat, reusable
+// versions of each structure. Steady state performs zero heap allocations:
+// the first run on a workspace warms the arrays, every later run only
+// resets counters and valid bits.
+//
+// The structures encode the replay loop's actual bounds:
+//  - `InstrRing`: the window never exceeds `lsq_entries` (the LSQ drain
+//    loop pops before every push), so a power-of-two ring with head/size
+//    indices replaces the deque.
+//  - `FlatMap64`: in-flight prefetches are capped by
+//    `prefetch_queue`; open addressing with linear probing and
+//    backward-shift deletion replaces the node-based hash map, and the
+//    probe that checks for a duplicate candidate doubles as the insert
+//    position (single-probe admission).
+//  - `TimeRing` / `FillRing`: sorted rings over vectors whose capacity
+//    persists across runs (event keys arrive almost sorted, so insertion
+//    is an O(1) append and pop-min an O(1) head advance). Fill events
+//    carry a per-run sequence number so ordering is total (time, then
+//    issue order) — pop order, and therefore prefetcher `on_fill`
+//    training order and LLC insertion order, is
+//    implementation-independent. This is what makes the optimized loop
+//    bit-comparable to the straight-line reference simulator in
+//    tests/sim_reference_test.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/cache.hpp"
+
+namespace dart::sim {
+
+/// Fixed-capacity FIFO of in-flight memory instructions
+/// (instr_id, completion cycle), oldest first.
+class InstrRing {
+ public:
+  /// Prepares for a run with at most `capacity` live entries; keeps the
+  /// backing array when the (power-of-two rounded) capacity already fits.
+  void reset(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    if (cap > buf_.size()) buf_.resize(cap);
+    mask_ = buf_.size() - 1;
+    head_ = size_ = 0;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::uint64_t front_id() const { return buf_[head_].id; }
+  std::uint64_t front_complete() const { return buf_[head_].complete; }
+  void pop_front() {
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+  void push_back(std::uint64_t id, std::uint64_t complete) {
+    buf_[(head_ + size_) & mask_] = {id, complete};
+    ++size_;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::uint64_t complete;
+  };
+  std::vector<Entry> buf_;
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Open-addressing uint64 -> uint64 hash map: linear probing,
+/// backward-shift deletion (no tombstones), grown by rehash at 1/2 load.
+/// Serves as the simulator's in-flight prefetch table (block -> fill cycle)
+/// and as the flat replacement for the rule-based prefetchers' mapping
+/// tables (ISB's PS/SP/training maps). Any uint64 key is valid; occupancy
+/// is tracked explicitly rather than via a reserved key.
+class FlatMap64 {
+ public:
+  FlatMap64() { reset(); }  // slots_ is never empty: probe() needs no guard
+
+  /// Empties the table for a new run, keeping the slot array.
+  void reset() {
+    if (slots_.size() < kMinSlots) {
+      slots_.assign(kMinSlots, Slot{});
+    } else if (size_ != 0) {
+      std::fill(slots_.begin(), slots_.end(), Slot{});
+    }
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// One probe serving both lookup and insertion: `found` tells whether
+  /// `key` is present; `slot` is its position when found, or the insert
+  /// position otherwise (valid until the next mutation).
+  struct Probe {
+    std::size_t slot;
+    bool found;
+  };
+  Probe probe(std::uint64_t key) const {
+    std::size_t i = hash(key) & mask_;
+    while (slots_[i].live) {
+      if (slots_[i].key == key) return {i, true};
+      i = (i + 1) & mask_;
+    }
+    return {i, false};
+  }
+
+  std::uint64_t value_at(std::size_t slot) const { return slots_[slot].value; }
+  void set_value_at(std::size_t slot, std::uint64_t value) { slots_[slot].value = value; }
+
+  /// Inserts at a position returned by a `probe` miss on the same key.
+  void insert_at(Probe p, std::uint64_t key, std::uint64_t value) {
+    slots_[p.slot] = {key, value, true};
+    if (++size_ * 2 > slots_.size()) grow();
+  }
+
+  /// Removes the entry at a position returned by a `probe` hit.
+  void erase_at(std::size_t slot) {
+    std::size_t i = slot;
+    std::size_t j = i;
+    for (;;) {
+      slots_[i].live = false;
+      for (;;) {
+        j = (j + 1) & mask_;
+        if (!slots_[j].live) {
+          --size_;
+          return;
+        }
+        const std::size_t home = hash(slots_[j].key) & mask_;
+        // Shift j back into the hole iff its home slot lies cyclically at
+        // or before the hole (the standard linear-probing deletion rule).
+        const bool between_hole_and_j =
+            i <= j ? (home > i && home <= j) : (home > i || home <= j);
+        if (!between_hole_and_j) break;
+      }
+      slots_[i] = slots_[j];
+      i = j;
+    }
+  }
+
+  // Convenience wrappers for map-style call sites.
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  const std::uint64_t* find(std::uint64_t key) const {
+    const Probe p = probe(key);
+    return p.found ? &slots_[p.slot].value : nullptr;
+  }
+
+  /// Inserts or overwrites `key -> value`.
+  void assign(std::uint64_t key, std::uint64_t value) {
+    const Probe p = probe(key);
+    if (p.found) {
+      slots_[p.slot].value = value;
+    } else {
+      insert_at(p, key, value);
+    }
+  }
+
+  /// Removes `key` when present.
+  void erase(std::uint64_t key) {
+    const Probe p = probe(key);
+    if (p.found) erase_at(p.slot);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+    bool live = false;
+  };
+  static constexpr std::size_t kMinSlots = 256;
+
+  static std::size_t hash(std::uint64_t key) {
+    // Fibonacci mix: consecutive keys (block runs, structural streams)
+    // spread across the table instead of clustering one probe run.
+    std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h >> 16);
+  }
+
+  void grow() {
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.live) insert_at(probe(s.key), s.key, s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Time-ordered bounded queue over a reusable power-of-two ring: a sorted
+/// ring with back-insertion. The replay loop's event keys are almost always
+/// pushed in non-decreasing order (completion/fill cycles track the
+/// monotone issue cycle), so a push is an O(1) append — out-of-order keys
+/// (MSHR back-pressure reshuffling completions) shift a handful of tail
+/// entries. Pop-min is an O(1) head advance. This replaces a binary heap
+/// whose sift chains cost log(n) dependent steps on exactly the miss path
+/// this structure serves.
+template <typename T, typename Earlier>
+class SortedRing {
+ public:
+  void clear() { head_ = size_ = 0; }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  const T& top() const { return buf_[head_]; }
+
+  void push(const T& v) {
+    if (size_ == buf_.size()) grow();
+    const std::size_t mask = buf_.size() - 1;
+    // Insertion sort from the back: shift strictly-later entries one step.
+    std::size_t i = (head_ + size_) & mask;
+    while (i != head_) {
+      const std::size_t prev = (i - 1) & mask;
+      if (!Earlier()(v, buf_[prev])) break;
+      buf_[i] = buf_[prev];
+      i = prev;
+    }
+    buf_[i] = v;
+    ++size_;
+  }
+
+  void pop() {
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+  }
+
+ private:
+  void grow() {
+    std::vector<T> bigger(buf_.empty() ? 128 : buf_.size() * 2);
+    const std::size_t mask = buf_.empty() ? 0 : buf_.size() - 1;
+    for (std::size_t i = 0; i < size_; ++i) bigger[i] = buf_[(head_ + i) & mask];
+    buf_.swap(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+struct EarlierU64 {
+  bool operator()(std::uint64_t a, std::uint64_t b) const { return a < b; }
+};
+
+/// Outstanding completion cycles (LLC MSHR occupancy). Equal keys are
+/// interchangeable, so no tie-break is needed.
+using TimeRing = SortedRing<std::uint64_t, EarlierU64>;
+
+/// Pending cache fill, totally ordered by (fill cycle, issue sequence).
+struct FillEvent {
+  std::uint64_t time;
+  std::uint64_t seq;
+  std::uint64_t block;
+};
+
+struct EarlierFill {
+  bool operator()(const FillEvent& a, const FillEvent& b) const {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+};
+
+/// Time-ordered fill events. The (time, seq) order is total, so pop order —
+/// and therefore prefetcher `on_fill` training order and LLC insertion
+/// order — is implementation-independent.
+using FillRing = SortedRing<FillEvent, EarlierFill>;
+
+/// Reusable cache storage: rebuilt when the requested geometry changes,
+/// reset (valid bits + stats cleared, arrays kept) otherwise.
+class CacheSlot {
+ public:
+  Cache& ensure(std::size_t size_bytes, std::size_t ways) {
+    if (!cache_ || size_bytes != size_bytes_ || ways != ways_) {
+      cache_.emplace(size_bytes, ways);
+      size_bytes_ = size_bytes;
+      ways_ = ways;
+    } else {
+      cache_->reset();
+    }
+    return *cache_;
+  }
+
+ private:
+  std::optional<Cache> cache_;
+  std::size_t size_bytes_ = 0;
+  std::size_t ways_ = 0;
+};
+
+/// All mutable state of one trace replay. Reusing one workspace across
+/// `Simulator::run` / `extract_llc_trace` calls (as core::ExperimentRunner
+/// and the fig/table benches do) makes repeated cells allocation-free in
+/// steady state. Not thread-safe: one workspace per thread.
+struct SimWorkspace {
+  CacheSlot l1;
+  CacheSlot l2;
+  CacheSlot llc;
+  InstrRing window;
+  TimeRing mshr;
+  FillRing fills;          ///< in-flight prefetch fills
+  FillRing demand_fills;   ///< demand-miss fills (prefetcher training)
+  FlatMap64 inflight;      ///< block -> prefetch fill cycle
+  std::vector<std::uint64_t> pf_candidates;
+};
+
+/// The calling thread's reusable workspace, for entry points that don't
+/// manage one explicitly (mirrors tabular::thread_local_workspace()).
+SimWorkspace& thread_local_sim_workspace();
+
+}  // namespace dart::sim

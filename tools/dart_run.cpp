@@ -105,8 +105,11 @@ int run_simulate(trace::App app, const io::ArtifactInfo& info,
   const trace::MemoryTrace trace =
       trace::generate(app, options.raw_accesses, common::derive_seed(options.seed, 1));
 
+  // One reusable workspace serves both replays (second run allocates
+  // nothing).
+  sim::SimWorkspace workspace;
   sim::Simulator baseline_sim(options.sim);
-  const sim::SimStats baseline = baseline_sim.run(trace, nullptr);
+  const sim::SimStats baseline = baseline_sim.run(trace, nullptr, workspace);
 
   prefetch::NnAdapterOptions o;
   o.prep = info.meta.prep;
@@ -117,7 +120,7 @@ int run_simulate(trace::App app, const io::ArtifactInfo& info,
       info.meta.display_name.empty() ? "DART" : info.meta.display_name);
 
   sim::Simulator sim(options.sim);
-  const sim::SimStats stats = sim.run(trace, &prefetcher);
+  const sim::SimStats stats = sim.run(trace, &prefetcher, workspace);
   const double improvement =
       baseline.ipc() > 0.0 ? (stats.ipc() - baseline.ipc()) / baseline.ipc() : 0.0;
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Diffs the deterministic counters of two bench_sim_throughput JSON files.
+
+Usage: diff_sim_counters.py <baseline.json> <candidate.json>
+
+The simulator is fully deterministic for a given trace and configuration
+(tests/sim_reference_test.cpp pins the semantics), so the `counters` object
+of every config must match the committed baseline exactly on any host.
+Host-dependent fields (`*_per_sec`) are ignored. Exit code 1 on any
+mismatch, with a per-field report.
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    by_name = {c["prefetcher"]: c["counters"] for c in data["configs"]}
+    shape = {k: data[k] for k in ("accesses_per_config", "apps", "sim_instr")}
+    return shape, by_name
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    base_shape, base = load(sys.argv[1])
+    cand_shape, cand = load(sys.argv[2])
+    failures = []
+    if base_shape != cand_shape:
+        failures.append(f"workload shape differs: {base_shape} vs {cand_shape}")
+    for name in base:
+        if name not in cand:
+            failures.append(f"config '{name}' missing from candidate")
+            continue
+        for field, expected in base[name].items():
+            got = cand[name].get(field)
+            if got != expected:
+                failures.append(f"{name}.{field}: baseline {expected}, candidate {got}")
+    for name in cand:
+        if name not in base:
+            failures.append(f"config '{name}' not in baseline")
+    if failures:
+        print("simulator counter drift vs committed baseline:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"counters identical across {len(base)} configs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
