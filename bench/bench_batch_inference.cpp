@@ -20,75 +20,12 @@
 
 #include "bench_common.hpp"
 #include "core/configs.hpp"
+#include "synthetic_model.hpp"
 #include "tabular/tabular_predictor.hpp"
 
 using namespace dart;
 
 namespace {
-
-/// Builds a predictor with the student architecture and K=128/C=2 tables
-/// from random weights and random "training" activations (k-means still
-/// runs, so encoders/tables are realistic; no NN training needed).
-tabular::TabularPredictor build_synthetic_predictor(const nn::ModelConfig& arch) {
-  const std::size_t m = 512;  // training rows for prototype learning
-  std::uint64_t seed = 1000;
-  auto next = [&seed] { return seed += 17; };
-
-  tabular::KernelConfig lin;
-  lin.num_prototypes = 128;
-  lin.num_subspaces = 2;
-  lin.kmeans_iters = 4;
-  // The simulated deployment uses the O(log K) hash-tree encoder
-  // (DESIGN.md §3); exact encoding would dominate the measurement.
-  lin.encoder = pq::EncoderKind::kHashTree;
-
-  auto make_linear = [&](std::size_t dout, std::size_t din) {
-    nn::Tensor w = nn::Tensor::randn({dout, din}, 0.5f, next());
-    nn::Tensor b = nn::Tensor::randn({dout}, 0.2f, next());
-    nn::Tensor rows = nn::Tensor::randn({m, din}, 1.0f, next());
-    tabular::KernelConfig cfg = lin;
-    cfg.seed = next();
-    return std::make_unique<tabular::LinearKernel>(w, b, rows, cfg);
-  };
-
-  tabular::TabularPredictor tab(arch);
-  tab.addr_kernel = make_linear(arch.dim, arch.addr_dim);
-  tab.pc_kernel = make_linear(arch.dim, arch.pc_dim);
-  tab.pos_encoding = nn::Tensor::randn({arch.seq_len, arch.dim}, 0.1f, next());
-  const std::size_t dh = arch.dim / arch.heads;
-  for (std::size_t l = 0; l < arch.layers; ++l) {
-    tabular::TabularEncoderLayer layer;
-    layer.qkv = make_linear(3 * arch.dim, arch.dim);
-    for (std::size_t h = 0; h < arch.heads; ++h) {
-      nn::Tensor q = nn::Tensor::randn({m, arch.seq_len, dh}, 1.0f, next());
-      nn::Tensor k = nn::Tensor::randn({m, arch.seq_len, dh}, 1.0f, next());
-      nn::Tensor v = nn::Tensor::randn({m, arch.seq_len, dh}, 1.0f, next());
-      tabular::AttentionKernelConfig acfg;
-      acfg.num_prototypes = 128;
-      acfg.ck = 2;
-      acfg.ct = 2;
-      acfg.kmeans_iters = 4;
-      acfg.encoder = pq::EncoderKind::kHashTree;
-      acfg.seed = next();
-      layer.heads.push_back(std::make_unique<tabular::AttentionKernel>(q, k, v, acfg));
-    }
-    layer.out_proj = make_linear(arch.dim, arch.dim);
-    layer.ln1.gamma = nn::Tensor::randn({arch.dim}, 0.1f, next());
-    layer.ln1.beta = nn::Tensor::randn({arch.dim}, 0.1f, next());
-    for (std::size_t j = 0; j < arch.dim; ++j) layer.ln1.gamma[j] += 1.0f;
-    layer.ffn_hidden = make_linear(arch.ffn_dim, arch.dim);
-    layer.ffn_out = make_linear(arch.dim, arch.ffn_dim);
-    layer.ln2.gamma = nn::Tensor::randn({arch.dim}, 0.1f, next());
-    layer.ln2.beta = nn::Tensor::randn({arch.dim}, 0.1f, next());
-    for (std::size_t j = 0; j < arch.dim; ++j) layer.ln2.gamma[j] += 1.0f;
-    tab.layers.push_back(std::move(layer));
-  }
-  tab.final_ln.gamma = nn::Tensor::randn({arch.dim}, 0.1f, next());
-  tab.final_ln.beta = nn::Tensor::randn({arch.dim}, 0.1f, next());
-  for (std::size_t j = 0; j < arch.dim; ++j) tab.final_ln.gamma[j] += 1.0f;
-  tab.head_kernel = make_linear(arch.out_dim, arch.dim);
-  return tab;
-}
 
 /// queries/sec for the scalar path: one forward_sample per query. Input
 /// slicing happens outside the timer, mirroring run_batched, so both
@@ -151,8 +88,12 @@ int main(int argc, char** argv) {
   const std::size_t queries =
       static_cast<std::size_t>(common::env_int("DART_BENCH_QUERIES", 4096));
 
+  // Shared builder (bench/synthetic_model.hpp): student architecture,
+  // K=128/C=2 tables from random activations — table *contents* don't
+  // affect query cost, only shapes do. Seed 1000 matches the pre-refactor
+  // local builder, so the committed baseline stays comparable.
   const nn::ModelConfig arch = core::paper_student_config();
-  tabular::TabularPredictor tab = build_synthetic_predictor(arch);
+  tabular::TabularPredictor tab = bench::synthetic_predictor(arch);
 
   nn::Tensor addr = nn::Tensor::randn({queries, arch.seq_len, arch.addr_dim}, 1.0f, 7);
   nn::Tensor pc = nn::Tensor::randn({queries, arch.seq_len, arch.pc_dim}, 1.0f, 8);

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <atomic>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/env.hpp"
 
 namespace dart::common {
@@ -71,6 +76,19 @@ ThreadPool& ThreadPool::instance() {
 }
 
 bool ThreadPool::inside_worker() { return t_inside_pool; }
+
+bool pin_current_thread(std::size_t core) {
+#if defined(__linux__)
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(core % hw), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
 
 std::size_t plan_blocks(std::size_t n, std::size_t min_grain) {
   if (n == 0) return 0;

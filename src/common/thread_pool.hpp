@@ -59,6 +59,14 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Pins the calling thread to CPU `core` (modulo the hardware core count).
+/// Used by long-lived worker threads that own per-core state — e.g. the
+/// serve-layer shard engines (DART_SERVE_PIN) — to keep their workspaces
+/// and ring cache lines resident on one core. Returns false when the
+/// platform does not support affinity or the kernel refuses (restricted
+/// cpusets); callers treat pinning as a best-effort hint.
+bool pin_current_thread(std::size_t core);
+
 /// Number of blocks `parallel_for_blocks(n, ..., min_grain)` will use — 1
 /// when the range would run inline (small n, single worker, or nested under
 /// a pool worker). Lets callers preallocate per-block state (e.g. one

@@ -127,6 +127,17 @@ std::optional<sim::DartModel> try_load_dart_artifact(const std::string& path,
   }
 }
 
+sim::DartModel load_dart_artifact(const std::string& path, io::ArtifactInfo* info) {
+  io::ArtifactInfo local;
+  sim::DartModel model;
+  model.predictor =
+      std::make_shared<tabular::TabularPredictor>(io::load_predictor_artifact(path, &local));
+  model.latency_cycles = static_cast<std::size_t>(local.meta.latency_cycles);
+  if (!local.meta.display_name.empty()) model.display_name = local.meta.display_name;
+  if (info != nullptr) *info = local;
+  return model;
+}
+
 bool save_dart_artifact(const std::string& path, trace::App app, const TrainedDart& model,
                         const std::string& producer) {
   try {

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "io/artifact.hpp"
 #include "sim/registry.hpp"
 
 namespace dart::core {
@@ -58,6 +59,15 @@ TrainedDart train_dart(Pipeline& pipe, const sim::DartModelRequest& request);
 /// returns nullopt (the caller retrains and overwrites).
 std::optional<sim::DartModel> try_load_dart_artifact(const std::string& path,
                                                      const std::string& expected_config_key);
+
+/// The serving reload path (DESIGN.md §9): loads `path` with NO config-key
+/// staleness check — hot-swap accepts any valid artifact of compatible
+/// geometry as the next epoch; the caller (serve::PrefetchServer) enforces
+/// geometry compatibility itself. Unlike try_load_dart_artifact this is
+/// loud: it throws io::ArtifactError on missing/corrupted/version-mismatched
+/// files, because a failed swap must surface to the operator, never be
+/// silently skipped. Optionally fills `info` with the parsed header.
+sim::DartModel load_dart_artifact(const std::string& path, io::ArtifactInfo* info = nullptr);
 
 /// Persists a trained model at `path` (creating parent directories).
 /// Best-effort: returns false and warns on I/O failure — a read-only cache

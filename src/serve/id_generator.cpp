@@ -1,0 +1,50 @@
+#include "serve/id_generator.hpp"
+
+#include <atomic>
+
+#include "common/rng.hpp"
+
+namespace dart::serve {
+namespace {
+
+/// SplitMix64 step: passes BigCrush, one multiply-xorshift chain per ID —
+/// cheap enough to sit on the per-request hot path.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class DefaultIdGenerator final : public IdGenerator {
+ public:
+  explicit DefaultIdGenerator(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t trace_id() const override {
+    // Per-thread stream state, lazily seeded per (thread, generator) pair.
+    // Distinct threads draw from decorrelated SplitMix64 streams (disjoint
+    // with overwhelming probability: distinct derive_seed starting points
+    // on a 2^64 cycle), so no atomic is touched after the first call.
+    thread_local const DefaultIdGenerator* owner = nullptr;
+    thread_local std::uint64_t state = 0;
+    if (owner != this) {
+      owner = this;
+      state = common::derive_seed(seed_, streams_.fetch_add(1, std::memory_order_relaxed));
+    }
+    std::uint64_t id = splitmix64(state);
+    while (id == 0) id = splitmix64(state);  // 0 is the reserved "no id"
+    return id;
+  }
+
+ private:
+  const std::uint64_t seed_;
+  mutable std::atomic<std::uint64_t> streams_{0};
+};
+
+}  // namespace
+
+std::shared_ptr<const IdGenerator> default_id_generator(std::uint64_t seed) {
+  return std::make_shared<DefaultIdGenerator>(seed);
+}
+
+}  // namespace dart::serve

@@ -1,0 +1,30 @@
+// Per-request trace-ID generation for the serving layer (DESIGN.md §9),
+// modeled on dd-trace-cpp's IDGenerator: a small const interface whose
+// default implementation hands out unique, well-mixed 64-bit IDs from
+// per-thread generator state, so concurrent client streams never contend
+// on a shared counter and never repeat an ID.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace dart::serve {
+
+/// Source of per-request trace IDs. Implementations must be safe to call
+/// from any number of threads concurrently and must never return 0 (the
+/// serving layer reserves 0 for "no request" / backpressure-rejected).
+class IdGenerator {
+ public:
+  virtual ~IdGenerator() = default;
+
+  /// A fresh, process-unique, nonzero 64-bit trace ID.
+  virtual std::uint64_t trace_id() const = 0;
+};
+
+/// The default generator: each calling thread owns a SplitMix64 stream
+/// seeded from a process-wide counter mixed with `seed`, so IDs are unique
+/// across threads without shared-state contention, and a fixed `seed`
+/// yields deterministic per-thread streams (tests rely on this).
+std::shared_ptr<const IdGenerator> default_id_generator(std::uint64_t seed = 0x5eed);
+
+}  // namespace dart::serve

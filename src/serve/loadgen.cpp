@@ -1,0 +1,172 @@
+#include "serve/loadgen.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "trace/trace.hpp"
+
+namespace dart::serve {
+
+namespace {
+
+/// One client's in-flight slot: borrowed feature/result buffers plus the
+/// trace ID the matching response must echo.
+struct Slot {
+  std::vector<float> addr, pc, probs;
+  std::uint64_t expect_id = 0;
+};
+
+/// Per-stream tallies, summed into the report after the join.
+struct StreamCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t id_mismatches = 0;
+};
+
+/// Replays one app stream: rolls a T-deep history over the trace, issues
+/// one request per post-warmup access (wrapping the trace as needed) and
+/// drains completions to keep at most `window` requests in flight.
+void run_stream(ClientSession& session, const LoadOptions& options, trace::App app,
+                std::uint64_t seed, StreamCounters& counters) {
+  const trace::PreprocessOptions& prep = options.prep;
+  const std::size_t t_len = prep.history;
+  const trace::MemoryTrace trace = trace::generate(app, options.trace_accesses, seed);
+
+  std::vector<Slot> slots(options.window);
+  for (Slot& s : slots) {
+    s.addr.resize(t_len * prep.addr_segments);
+    s.pc.resize(t_len * prep.pc_segments);
+    s.probs.resize(prep.bitmap_size);
+  }
+  std::vector<std::size_t> free_slots;
+  for (std::size_t i = 0; i < slots.size(); ++i) free_slots.push_back(i);
+
+  // Slot identification: responses echo the probs pointer, which maps back
+  // to the slot index by address.
+  auto slot_of = [&](const float* probs) -> std::size_t {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].probs.data() == probs) return i;
+    }
+    return slots.size();
+  };
+  auto drain = [&](bool block) {
+    Response r;
+    do {
+      while (session.poll(r)) {
+        ++counters.completed;
+        const std::size_t idx = slot_of(r.probs);
+        if (idx == slots.size() || slots[idx].expect_id != r.trace_id) {
+          ++counters.id_mismatches;
+        }
+        if (idx != slots.size()) free_slots.push_back(idx);
+      }
+      if (block && session.in_flight() > 0) std::this_thread::yield();
+    } while (block && session.in_flight() > 0);
+  };
+
+  std::vector<std::uint64_t> hist_blocks(t_len, 0), hist_pcs(t_len, 0);
+  std::size_t hist_pos = 0, access = 0;
+  // Warm the history window before the first request.
+  for (; access < t_len && access < trace.size(); ++access) {
+    hist_blocks[hist_pos] = trace::block_of(trace[access].addr);
+    hist_pcs[hist_pos] = trace[access].pc;
+    hist_pos = (hist_pos + 1) % t_len;
+  }
+
+  for (std::uint64_t issued = 0; issued < options.requests_per_stream; ++issued) {
+    const trace::MemoryAccess& acc = trace[access % trace.size()];
+    ++access;
+    hist_blocks[hist_pos] = trace::block_of(acc.addr);
+    hist_pcs[hist_pos] = acc.pc;
+    hist_pos = (hist_pos + 1) % t_len;
+
+    // Claim a slot, draining completions while the window is saturated.
+    while (free_slots.empty()) {
+      drain(false);
+      if (free_slots.empty()) std::this_thread::yield();
+    }
+    const std::size_t idx = free_slots.back();
+    free_slots.pop_back();
+    Slot& slot = slots[idx];
+    for (std::size_t t = 0; t < t_len; ++t) {
+      const std::size_t h = (hist_pos + t) % t_len;  // oldest -> newest
+      trace::segment_value(hist_blocks[h], prep.addr_segments, prep.segment_bits,
+                           slot.addr.data() + t * prep.addr_segments);
+      trace::segment_value(hist_pcs[h] >> 2, prep.pc_segments, prep.segment_bits,
+                           slot.pc.data() + t * prep.pc_segments);
+    }
+    // Submit, absorbing backpressure by draining and retrying.
+    for (;;) {
+      slot.expect_id = session.submit(slot.addr.data(), slot.pc.data(), slot.probs.data());
+      if (slot.expect_id != 0) break;
+      ++counters.rejected;
+      drain(false);
+      std::this_thread::yield();
+    }
+    ++counters.submitted;
+    drain(false);
+  }
+  drain(true);  // collect every outstanding response before exiting
+}
+
+}  // namespace
+
+LoadOptions LoadOptions::from_env() {
+  LoadOptions o;
+  o.streams = static_cast<std::size_t>(
+      common::env_int("DART_SERVE_STREAMS", static_cast<std::int64_t>(o.streams)));
+  o.requests_per_stream = static_cast<std::size_t>(
+      common::env_int("DART_SERVE_REQUESTS", static_cast<std::int64_t>(o.requests_per_stream)));
+  o.window = static_cast<std::size_t>(
+      common::env_int("DART_SERVE_WINDOW", static_cast<std::int64_t>(o.window)));
+  return o;
+}
+
+LoadReport run_client_load(PrefetchServer& server, const LoadOptions& options) {
+  const nn::ModelConfig arch = server.arch();
+  if (options.prep.history != arch.seq_len || options.prep.addr_segments != arch.addr_dim ||
+      options.prep.pc_segments != arch.pc_dim || options.prep.bitmap_size != arch.out_dim) {
+    throw std::invalid_argument(
+        "run_client_load: preprocessing geometry does not match the serving model");
+  }
+  const std::vector<trace::App> apps =
+      options.apps.empty() ? trace::all_apps() : options.apps;
+
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  std::vector<StreamCounters> counters(options.streams);
+  for (std::size_t i = 0; i < options.streams; ++i) {
+    sessions.push_back(server.connect(options.window));
+  }
+
+  common::Stopwatch watch;
+  std::vector<std::thread> clients;
+  clients.reserve(options.streams);
+  for (std::size_t i = 0; i < options.streams; ++i) {
+    clients.emplace_back([&, i] {
+      run_stream(*sessions[i], options, apps[i % apps.size()],
+                 common::derive_seed(options.seed, i), counters[i]);
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  LoadReport report;
+  report.streams = options.streams;
+  report.elapsed_s = watch.elapsed_s();
+  for (const StreamCounters& c : counters) {
+    report.submitted += c.submitted;
+    report.completed += c.completed;
+    report.rejected += c.rejected;
+    report.id_mismatches += c.id_mismatches;
+  }
+  report.predictions_per_sec =
+      report.elapsed_s > 0.0 ? static_cast<double>(report.completed) / report.elapsed_s : 0.0;
+  report.server = server.stats();
+  return report;
+}
+
+}  // namespace dart::serve

@@ -1,0 +1,55 @@
+// Simulated client load for the serving layer (DESIGN.md §9): N client
+// threads replay synthetic app access streams (src/trace generators)
+// against a PrefetchServer, exactly as a prefetching front-end would — a
+// rolling T-deep history window per stream, segmented into the model's
+// [T, S] feature rows per request, submitted with bounded in-flight
+// windows and polled for completions. Used by bench/bench_serve.cpp and
+// `dart_run --serve`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "trace/generators.hpp"
+#include "trace/preprocess.hpp"
+
+namespace dart::serve {
+
+/// Client-load shape. `streams` threads each issue `requests_per_stream`
+/// requests; stream i replays app `apps[i % apps.size()]`.
+struct LoadOptions {
+  std::size_t streams = 8;              ///< concurrent client threads
+  std::size_t requests_per_stream = 20000;  ///< requests issued per stream
+  std::size_t window = 256;             ///< max in-flight requests per client
+  std::size_t trace_accesses = 100000;  ///< generated accesses per stream (wraps)
+  std::uint64_t seed = 1;               ///< trace-generation seed base
+  trace::PreprocessOptions prep;        ///< feature geometry (must match the server)
+  std::vector<trace::App> apps;         ///< replayed apps; empty = all of Table IV
+
+  /// Defaults overridden by DART_SERVE_STREAMS / DART_SERVE_REQUESTS /
+  /// DART_SERVE_WINDOW.
+  static LoadOptions from_env();
+};
+
+/// Outcome of one load run. The no-loss invariants (`completed ==
+/// submitted`, `lost == 0`, `id_mismatches == 0`) are deterministic;
+/// throughput/latency fields are host-dependent.
+struct LoadReport {
+  std::size_t streams = 0;
+  std::uint64_t submitted = 0;       ///< requests accepted by the server
+  std::uint64_t completed = 0;       ///< responses received by clients
+  std::uint64_t rejected = 0;        ///< backpressure rejections (each retried)
+  std::uint64_t id_mismatches = 0;   ///< responses with an unexpected trace ID
+  double elapsed_s = 0.0;            ///< wall-clock of the client phase
+  double predictions_per_sec = 0.0;  ///< completed / elapsed_s
+  ServeStatsSummary server;          ///< server-side counters at completion
+};
+
+/// Runs the load against `server` and blocks until every stream has
+/// submitted its quota and received every response. Throws
+/// std::invalid_argument when `options.prep` geometry does not match the
+/// server's model architecture.
+LoadReport run_client_load(PrefetchServer& server, const LoadOptions& options);
+
+}  // namespace dart::serve

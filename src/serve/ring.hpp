@@ -1,0 +1,178 @@
+// Bounded lock-free rings for the serving layer (DESIGN.md §9).
+//
+// Two shapes, one discipline: fixed power-of-two capacity, monotonically
+// increasing 64-bit positions masked into slot indices (wraparound never
+// resets a position, so full/empty tests are plain subtractions), and
+// cache-line-aligned producer/consumer state so the two sides never false-
+// share. Both rings are *rejecting*: `try_push` returns false when full and
+// the caller decides (backpressure at ingress, bounded retry at egress) —
+// the rings themselves never block, allocate, or drop.
+//
+//  * SpscRing — single producer, single consumer (the per-client completion
+//    path). Wait-free on both sides; each side caches the opposing index and
+//    refreshes it only on apparent-full/apparent-empty, so steady-state
+//    operations touch one shared cache line instead of two.
+//  * MpscRing — multiple producers, single consumer (the per-shard ingress
+//    path). A Vyukov-style bounded queue: producers claim positions with a
+//    CAS on the tail, per-slot sequence numbers publish the payload, and the
+//    single consumer pops without any atomic RMW.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace dart::serve {
+
+/// Rounds `n` up to the next power of two (minimum 2), so ring capacities
+/// can mask positions instead of dividing.
+inline std::size_t ceil_pow2(std::size_t n) {
+  std::size_t cap = 2;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+/// Bounded wait-free single-producer / single-consumer ring.
+///
+/// `T` must be default-constructible and copyable (the serving layer moves
+/// small POD request/response records). Exactly one thread may call
+/// `try_push` and exactly one thread may call `try_pop`; the payload write
+/// is published by the release store of the producer position and consumed
+/// under the matching acquire load.
+template <typename T>
+class SpscRing {
+ public:
+  /// Ring holding at least `capacity` elements (rounded up to a power of
+  /// two, minimum 2).
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(ceil_pow2(capacity)),
+        mask_(capacity_ - 1),
+        slots_(new T[capacity_]) {}
+
+  /// Producer side: enqueues `v`; false when the ring is full.
+  bool try_push(const T& v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = v;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: dequeues into `out`; false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Element count as last published (racy by design; monitoring only).
+  std::size_t size_approx() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_relaxed) -
+                                    head_.load(std::memory_order_relaxed));
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<T[]> slots_;
+  // Producer-owned line: tail position plus its stale view of the head.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;
+  // Consumer-owned line: head position plus its stale view of the tail.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;
+};
+
+/// Bounded lock-free multi-producer / single-consumer ring (Vyukov bounded
+/// queue, consumer side simplified for a single popper).
+///
+/// Each slot carries a sequence number: `seq == pos` means free for the
+/// producer claiming position `pos`; `seq == pos + 1` means the payload at
+/// `pos` is published for the consumer; after popping, the consumer
+/// re-arms the slot with `seq = pos + capacity` for its next lap. Producers
+/// contend only on the tail CAS; the consumer performs no atomic RMW at all.
+template <typename T>
+class MpscRing {
+ public:
+  /// Ring holding at least `capacity` elements (rounded up to a power of
+  /// two, minimum 2).
+  explicit MpscRing(std::size_t capacity)
+      : capacity_(ceil_pow2(capacity)), mask_(capacity_ - 1), cells_(new Cell[capacity_]) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  /// Any producer thread: enqueues `v`; false when the ring is full.
+  bool try_push(const T& v) {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t diff = static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          cell.value = v;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS refreshed `pos`; retry with the new tail.
+      } else if (diff < 0) {
+        // The slot still holds an unconsumed lap-old element: ring is full.
+        return false;
+      } else {
+        // Another producer claimed `pos`; chase the tail.
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// The single consumer thread: dequeues into `out`; false when empty.
+  bool try_pop(T& out) {
+    const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) < 0) {
+      return false;  // producer has not published this position yet
+    }
+    out = cell.value;
+    cell.seq.store(pos + capacity_, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Element count as last published (racy by design; used for the shard
+  /// queue-depth counters).
+  std::size_t size_approx() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq;
+    T value;
+  };
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producers (CAS)
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer only
+};
+
+}  // namespace dart::serve

@@ -1,0 +1,143 @@
+#include "serve/server.hpp"
+
+#include <stdexcept>
+
+#include "common/env.hpp"
+#include "core/artifact_cache.hpp"
+
+namespace dart::serve {
+
+namespace {
+
+/// Geometry contract for hot-swap: client feature/output buffers are sized
+/// to the serving model, so every published epoch must agree on them.
+void check_geometry(const nn::ModelConfig& a, const nn::ModelConfig& b) {
+  if (a.seq_len != b.seq_len || a.addr_dim != b.addr_dim || a.pc_dim != b.pc_dim ||
+      a.out_dim != b.out_dim) {
+    throw std::invalid_argument(
+        "PrefetchServer: new model's input/output geometry (T, addr_dim, pc_dim, out_dim) "
+        "does not match the serving model");
+  }
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::from_env() {
+  ServeConfig c;
+  c.shards = static_cast<std::size_t>(common::env_int("DART_SERVE_SHARDS", 0));
+  c.queue_capacity =
+      static_cast<std::size_t>(common::env_int("DART_SERVE_QUEUE", static_cast<std::int64_t>(c.queue_capacity)));
+  c.batch_cap =
+      static_cast<std::size_t>(common::env_int("DART_SERVE_BATCH", static_cast<std::int64_t>(c.batch_cap)));
+  c.linger_us =
+      static_cast<std::size_t>(common::env_int("DART_SERVE_LINGER_US", static_cast<std::int64_t>(c.linger_us)));
+  c.pin_threads = common::env_int("DART_SERVE_PIN", 0) != 0;
+  return c;
+}
+
+PrefetchServer::PrefetchServer(std::shared_ptr<const tabular::TabularPredictor> model,
+                               const ServeConfig& config)
+    : config_(config), ids_(default_id_generator(config.id_seed)) {
+  if (model == nullptr) throw std::invalid_argument("PrefetchServer: null model");
+  if (config_.shards == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    config_.shards = hw == 0 ? 1 : hw;
+  }
+  if (config_.batch_cap == 0) config_.batch_cap = 1;
+  model_ = ModelEpoch{std::move(model), epoch_.load(std::memory_order_relaxed)};
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    ShardConfig sc;
+    sc.queue_capacity = config_.queue_capacity;
+    sc.batch_cap = config_.batch_cap;
+    sc.linger_us = config_.linger_us;
+    sc.pin_core = config_.pin_threads ? static_cast<int>(i) : -1;
+    shards_.push_back(std::make_unique<ShardEngine>(i, sc, current_model(), epoch_,
+                                                    [this] { return current_model(); }));
+  }
+}
+
+PrefetchServer::PrefetchServer(const std::string& path, const ServeConfig& config)
+    : PrefetchServer(core::load_dart_artifact(path).predictor, config) {}
+
+PrefetchServer::~PrefetchServer() { stop(); }
+
+std::unique_ptr<ClientSession> PrefetchServer::connect(std::size_t completion_capacity) {
+  if (completion_capacity == 0) completion_capacity = config_.completion_capacity;
+  const std::size_t shard =
+      next_client_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  // Not make_unique: the constructor is private to this friend.
+  return std::unique_ptr<ClientSession>(
+      new ClientSession(*this, shard, completion_capacity, ids_));
+}
+
+std::uint64_t PrefetchServer::swap_model(
+    std::shared_ptr<const tabular::TabularPredictor> model) {
+  if (model == nullptr) throw std::invalid_argument("PrefetchServer: null model");
+  std::lock_guard<std::mutex> lock(model_mu_);
+  check_geometry(model_.model->arch(), model->arch());
+  const std::uint64_t next = model_.epoch + 1;
+  model_ = ModelEpoch{std::move(model), next};
+  // Publish after the model is in place: a shard seeing the new epoch
+  // number takes model_mu_ in current_model() and reads a complete record.
+  epoch_.store(next, std::memory_order_release);
+  return next;
+}
+
+std::uint64_t PrefetchServer::swap_artifact(const std::string& path) {
+  return swap_model(core::load_dart_artifact(path).predictor);
+}
+
+ModelEpoch PrefetchServer::current_model() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_;
+}
+
+nn::ModelConfig PrefetchServer::arch() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_.model->arch();
+}
+
+void PrefetchServer::stop() {
+  for (auto& shard : shards_) shard->stop();
+}
+
+ServeStatsSummary PrefetchServer::stats() const {
+  ServeStatsSummary summary;
+  LatencyHistogram merged;
+  std::uint64_t occupancy = 0;
+  for (const auto& shard : shards_) {
+    ShardStatsSnapshot s = snapshot(shard->stats());
+    summary.requests += s.requests;
+    summary.batches += s.batches;
+    occupancy += s.occupancy_sum;
+    merged.merge(shard->stats().latency);
+    summary.shards.push_back(s);
+  }
+  summary.p50_ns = merged.quantile(0.50);
+  summary.p99_ns = merged.quantile(0.99);
+  summary.avg_batch =
+      summary.batches == 0 ? 0.0 : static_cast<double>(occupancy) / static_cast<double>(summary.batches);
+  return summary;
+}
+
+std::uint64_t ClientSession::submit(const float* addr, const float* pc, float* probs_out) {
+  Request r;
+  r.trace_id = ids_->trace_id();
+  r.addr = addr;
+  r.pc = pc;
+  r.probs_out = probs_out;
+  r.completions = &completions_;
+  r.enqueue_ns = now_ns();
+  if (!server_.shards_[shard_]->submit(r)) return 0;
+  ++in_flight_;
+  return r.trace_id;
+}
+
+bool ClientSession::poll(Response& out) {
+  if (!completions_.try_pop(out)) return false;
+  --in_flight_;
+  return true;
+}
+
+}  // namespace dart::serve

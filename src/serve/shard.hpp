@@ -1,0 +1,131 @@
+// One serving shard (DESIGN.md §9): a single-threaded inference engine that
+// owns an MPSC ingress ring, one `tabular::InferenceWorkspace`, and a
+// shared-immutable `TabularPredictor` epoch. The shard thread drains queued
+// requests into micro-batches (up to `batch_cap`, lingering a bounded
+// `linger_us` for stragglers), runs them through the zero-allocation block
+// query path, and pushes responses onto each request's per-client SPSC
+// completion ring.
+//
+// Model hot-swap: the owning server bumps an epoch counter; the shard
+// adopts the new `std::shared_ptr<const TabularPredictor>` strictly at a
+// batch boundary, so no batch is ever served by a torn mix of two
+// artifacts. The old predictor is retired by epoch reclamation — the final
+// shard (or in-flight reader) to drop its reference frees it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/ring.hpp"
+#include "serve/stats.hpp"
+#include "tabular/tabular_predictor.hpp"
+#include "tabular/workspace.hpp"
+
+namespace dart::serve {
+
+/// Steady-clock timestamp in nanoseconds (latency accounting).
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+struct Response;
+
+/// One queued inference request. The feature and output buffers are owned
+/// by the submitting client and must stay valid (and untouched) until the
+/// matching Response is popped from the completion ring.
+struct Request {
+  std::uint64_t trace_id = 0;             ///< nonzero per-request trace ID
+  const float* addr = nullptr;            ///< [T, addr_dim] segmented addresses
+  const float* pc = nullptr;              ///< [T, pc_dim] segmented PCs
+  float* probs_out = nullptr;             ///< [out_dim] result probabilities
+  SpscRing<Response>* completions = nullptr;  ///< the client's egress ring
+  std::uint64_t enqueue_ns = 0;           ///< submit timestamp (latency base)
+};
+
+/// Completion record pushed to the client's SPSC ring. Popping it (acquire)
+/// publishes the probabilities written to the request's `probs_out`.
+struct Response {
+  std::uint64_t trace_id = 0;  ///< echoes Request::trace_id
+  std::uint64_t epoch = 0;     ///< model epoch that served the request
+  float* probs = nullptr;      ///< == Request::probs_out
+};
+
+/// A model epoch: the immutable predictor plus its version number.
+struct ModelEpoch {
+  std::shared_ptr<const tabular::TabularPredictor> model;
+  std::uint64_t epoch = 0;
+};
+
+/// Per-shard tuning knobs (the server derives them from ServeConfig).
+struct ShardConfig {
+  std::size_t queue_capacity = 1024;  ///< ingress ring depth (rounded to 2^k)
+  std::size_t batch_cap = 64;         ///< micro-batch size limit
+  std::size_t linger_us = 50;         ///< max wait for batch stragglers
+  int pin_core = -1;                  ///< >= 0: pin the shard thread to this core
+};
+
+class ShardEngine {
+ public:
+  /// Creates the shard and starts its serving thread. `latest_epoch` is the
+  /// server's published epoch counter; when it moves past the local epoch,
+  /// the shard calls `reload` (at a batch boundary) to adopt the new model.
+  ShardEngine(std::size_t index, const ShardConfig& config, ModelEpoch initial,
+              const std::atomic<std::uint64_t>& latest_epoch, std::function<ModelEpoch()> reload);
+
+  /// Stops and joins the shard thread (draining the ingress ring first).
+  ~ShardEngine();
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  /// Enqueues a request from any thread; false on backpressure (ring full).
+  /// A parked shard thread is woken.
+  bool submit(const Request& request);
+
+  /// Asks the thread to finish draining and exit, then joins it. Callers
+  /// must have quiesced producers first; every request enqueued before
+  /// stop() is still served (flush semantics, the no-loss contract).
+  void stop();
+
+  const ShardStats& stats() const { return stats_; }
+  std::size_t index() const { return index_; }
+  std::size_t queue_capacity() const { return ingress_.capacity(); }
+
+ private:
+  void run();
+  /// Adopts the newest model epoch if the server published one.
+  void maybe_adopt_epoch();
+  /// Runs `n` queued requests as one micro-batch and completes them.
+  void serve_batch(Request* batch, std::size_t n);
+  /// Parks until woken by a submit, stop(), or a 200 us timeout.
+  void park();
+
+  const std::size_t index_;
+  const ShardConfig config_;
+  MpscRing<Request> ingress_;
+  const std::atomic<std::uint64_t>& latest_epoch_;
+  std::function<ModelEpoch()> reload_;
+
+  // Shard-thread-owned serving state.
+  ModelEpoch current_;
+  tabular::InferenceWorkspace workspace_;
+  std::vector<float> staging_addr_, staging_pc_, staging_probs_;
+
+  ShardStats stats_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> parked_{false};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::thread thread_;
+};
+
+}  // namespace dart::serve

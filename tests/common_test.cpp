@@ -161,5 +161,22 @@ TEST(TablePrinter, WritesCsv) {
   EXPECT_EQ(line, "1,\"two,with comma\"");
 }
 
+TEST(PinCurrentThread, PinsOnLinuxAndKeepsWorking) {
+  // Core indices wrap modulo hardware concurrency, so any index is valid.
+  const bool pinned = pin_current_thread(0);
+  const bool pinned_wrapped = pin_current_thread(1u << 20);
+#if defined(__linux__)
+  EXPECT_TRUE(pinned);
+  EXPECT_TRUE(pinned_wrapped);
+#else
+  EXPECT_FALSE(pinned);
+  EXPECT_FALSE(pinned_wrapped);
+#endif
+  // The thread still runs after (re)pinning.
+  std::atomic<int> x{0};
+  ++x;
+  EXPECT_EQ(x.load(), 1);
+}
+
 }  // namespace
 }  // namespace dart::common

@@ -3,8 +3,9 @@
 // then inspect it, micro-bench its query path, or deploy it as an LLC
 // prefetcher in the timing simulator.
 //
-//   dart_run ARTIFACT.dart [--info] [--bench] [--simulate]
-//            [--app NAME] [--queries N]
+//   dart_run ARTIFACT.dart [--info] [--bench] [--simulate] [--serve]
+//            [--app NAME] [--queries N] [--streams N] [--requests N]
+//            [--shards N] [--batch-cap N] [--linger-us N]
 //
 // Modes (default --info; several can be combined in one invocation):
 //   --info      print the artifact header: architecture, tables, storage,
@@ -14,10 +15,17 @@
 //               measure batched query throughput + F1 vs the trace labels.
 //   --simulate  run the timing simulator with the artifact as the LLC
 //               prefetcher vs a no-prefetcher baseline (Fig. 14's metric).
+//   --serve     stand up the prefetch-as-a-service engine (DESIGN.md §9)
+//               on the artifact and drive it with simulated client streams
+//               replaying the artifact's app; prints the aggregate
+//               throughput, latency quantiles, and per-shard counters.
 //
 // `--app` overrides the app recorded in the artifact (e.g. to measure how
 // a model trained on one workload generalizes to another). `--queries`
 // caps the bench query count (default DART_BENCH_QUERIES or 4096).
+// `--streams`/`--requests` shape the serve client load and
+// `--shards`/`--batch-cap`/`--linger-us` the serve engine, overriding
+// the corresponding DART_SERVE_* environment knobs.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -30,6 +38,8 @@
 #include "core/pipeline.hpp"
 #include "io/artifact.hpp"
 #include "prefetch/nn_prefetchers.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generators.hpp"
 #include "trace/preprocess.hpp"
@@ -40,8 +50,9 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s ARTIFACT.dart [--info] [--bench] [--simulate] [--app NAME] "
-               "[--queries N]\n",
+               "usage: %s ARTIFACT.dart [--info] [--bench] [--simulate] [--serve] "
+               "[--app NAME] [--queries N] [--streams N] [--requests N] [--shards N] "
+               "[--batch-cap N] [--linger-us N]\n",
                argv0);
   return 2;
 }
@@ -135,15 +146,58 @@ int run_simulate(trace::App app, const io::ArtifactInfo& info,
   return 0;
 }
 
+/// Serves the artifact through the sharded engine under simulated client
+/// load (serve::run_client_load), replaying `app` on every stream. Engine
+/// and load shape come from the DART_SERVE_* environment, already
+/// overridden by the CLI flags in main.
+int run_serve(trace::App app, const io::ArtifactInfo& info,
+              std::shared_ptr<const tabular::TabularPredictor> predictor,
+              const serve::ServeConfig& config, serve::LoadOptions load) {
+  load.prep = info.meta.prep;
+  load.apps = {app};
+
+  serve::PrefetchServer server(std::move(predictor), config);
+  const serve::LoadReport report = serve::run_client_load(server, load);
+
+  std::printf("serve      : %zu streams x %zu requests on %s over %zu shard(s)\n",
+              report.streams, load.requests_per_stream, trace::app_name(app).c_str(),
+              server.num_shards());
+  std::printf("  throughput %.0f predictions/sec, p50 %.1f us, p99 %.1f us\n",
+              report.predictions_per_sec, report.server.p50_ns / 1000.0,
+              report.server.p99_ns / 1000.0);
+  std::printf("  %llu completed / %llu submitted, %llu backpressure rejects, "
+              "%llu id mismatches\n",
+              static_cast<unsigned long long>(report.completed),
+              static_cast<unsigned long long>(report.submitted),
+              static_cast<unsigned long long>(report.rejected),
+              static_cast<unsigned long long>(report.id_mismatches));
+  std::printf("  %.1f avg batch occupancy over %llu micro-batches\n", report.server.avg_batch,
+              static_cast<unsigned long long>(report.server.batches));
+  for (std::size_t i = 0; i < report.server.shards.size(); ++i) {
+    const serve::ShardStatsSnapshot& s = report.server.shards[i];
+    std::printf("  shard %zu: %llu requests, %llu batches, max queue depth %llu\n", i,
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.batches),
+                static_cast<unsigned long long>(s.queue_depth_max));
+  }
+  if (report.completed != report.submitted || report.id_mismatches != 0) {
+    std::fprintf(stderr, "serve: lost or mis-routed responses\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   if (argc < 2) return usage(argv[0]);
   const std::string path = argv[1];
-  bool info_mode = false, bench_mode = false, simulate_mode = false;
+  bool info_mode = false, bench_mode = false, simulate_mode = false, serve_mode = false;
   std::string app_override;
   std::size_t queries =
       static_cast<std::size_t>(common::env_int("DART_BENCH_QUERIES", 4096));
+  serve::ServeConfig serve_config = serve::ServeConfig::from_env();
+  serve::LoadOptions serve_load = serve::LoadOptions::from_env();
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -160,16 +214,28 @@ int main(int argc, char** argv) try {
       bench_mode = true;
     } else if (arg == "--simulate") {
       simulate_mode = true;
+    } else if (arg == "--serve") {
+      serve_mode = true;
     } else if (arg == "--app") {
       app_override = value();
     } else if (arg == "--queries") {
       queries = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--streams") {
+      serve_load.streams = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--requests") {
+      serve_load.requests_per_stream = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--shards") {
+      serve_config.shards = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--batch-cap") {
+      serve_config.batch_cap = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--linger-us") {
+      serve_config.linger_us = static_cast<std::size_t>(std::stoul(value()));
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return usage(argv[0]);
     }
   }
-  if (!info_mode && !bench_mode && !simulate_mode) info_mode = true;
+  if (!info_mode && !bench_mode && !simulate_mode && !serve_mode) info_mode = true;
 
   // The only load in the binary: everything below serves from memory.
   common::Stopwatch load_timer;
@@ -182,7 +248,7 @@ int main(int argc, char** argv) try {
     print_info(path, info, *predictor);
     std::printf("cold start : loaded and validated in %.1f ms\n", load_ms);
   }
-  if (bench_mode || simulate_mode) {
+  if (bench_mode || simulate_mode || serve_mode) {
     const std::string app_name = !app_override.empty() ? app_override : info.meta.app;
     if (app_name.empty()) {
       std::fprintf(stderr, "artifact records no app; pass --app NAME\n");
@@ -195,6 +261,10 @@ int main(int argc, char** argv) try {
     }
     if (simulate_mode) {
       const int rc = run_simulate(app, info, predictor);
+      if (rc != 0) return rc;
+    }
+    if (serve_mode) {
+      const int rc = run_serve(app, info, predictor, serve_config, serve_load);
       if (rc != 0) return rc;
     }
   }
