@@ -108,13 +108,18 @@ TrainedDart train_dart(Pipeline& pipe, const sim::DartModelRequest& request) {
 }
 
 std::optional<sim::DartModel> try_load_dart_artifact(const std::string& path,
-                                                     const std::string& expected_config_key) {
+                                                     const std::string& expected_config_key,
+                                                     tabular::QuantMode quant) {
   if (path.empty() || !std::filesystem::exists(path)) return std::nullopt;
   try {
     io::ArtifactInfo info;
     auto predictor =
         std::make_shared<tabular::TabularPredictor>(io::load_predictor_artifact(path, &info));
     if (info.meta.config_key != expected_config_key) return std::nullopt;  // stale
+    if (quant != tabular::QuantMode::kOff && quant != predictor->quant_mode()) {
+      // Safe: the predictor is not shared with any query thread yet.
+      predictor->set_quant_mode(quant);
+    }
     sim::DartModel model;
     model.predictor = std::move(predictor);
     model.latency_cycles = static_cast<std::size_t>(info.meta.latency_cycles);
@@ -127,11 +132,18 @@ std::optional<sim::DartModel> try_load_dart_artifact(const std::string& path,
   }
 }
 
-sim::DartModel load_dart_artifact(const std::string& path, io::ArtifactInfo* info) {
+sim::DartModel load_dart_artifact(const std::string& path, io::ArtifactInfo* info,
+                                  tabular::QuantMode quant) {
   io::ArtifactInfo local;
   sim::DartModel model;
-  model.predictor =
+  auto predictor =
       std::make_shared<tabular::TabularPredictor>(io::load_predictor_artifact(path, &local));
+  if (quant != tabular::QuantMode::kOff && quant != predictor->quant_mode()) {
+    // Quantize before the predictor escapes this function: serving layers
+    // publish epochs already-quantized (set_quant_mode is not query-safe).
+    predictor->set_quant_mode(quant);
+  }
+  model.predictor = std::move(predictor);
   model.latency_cycles = static_cast<std::size_t>(local.meta.latency_cycles);
   if (!local.meta.display_name.empty()) model.display_name = local.meta.display_name;
   if (info != nullptr) *info = local;

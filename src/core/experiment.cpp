@@ -58,22 +58,26 @@ void build_context(AppState& state, const ExperimentSpec& spec) {
   // producing-configuration hash so stale files retrain), then training.
   state.ctx.dart_model = [s, popts](const sim::DartModelRequest& request) {
     std::lock_guard lock(s->mu);
+    // The quant mode joins the in-memory key (distinct served tables) but
+    // NOT the artifact config key: artifacts stay float and are shared
+    // across modes, with quantization applied after load.
     std::ostringstream key;
     key << normalize_dart_variant(request.variant) << '/' << request.table_k << '/'
-        << request.table_c;
+        << request.table_c << '/' << tabular::quant_mode_name(request.quant);
     auto it = s->dart_cache.find(key.str());
     if (it != s->dart_cache.end()) return it->second;
 
     std::string path;
     if (!popts.artifact_dir.empty()) {
       path = dart_artifact_path(popts.artifact_dir, s->app, popts, request);
-      if (auto loaded =
-              try_load_dart_artifact(path, dart_config_key(s->app, popts, request))) {
+      if (auto loaded = try_load_dart_artifact(path, dart_config_key(s->app, popts, request),
+                                               request.quant)) {
         return s->dart_cache.emplace(key.str(), std::move(*loaded)).first->second;
       }
     }
     TrainedDart trained = train_dart(s->pipe, request);
     if (!path.empty()) save_dart_artifact(path, s->app, trained, "experiment_runner");
+    trained.predictor.set_quant_mode(request.quant);
     sim::DartModel model;
     model.latency_cycles = trained.latency_cycles;
     model.display_name = trained.display_name;

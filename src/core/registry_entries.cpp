@@ -36,6 +36,13 @@ void require(bool present, const PrefetcherSpec& spec, const char* provider) {
   }
 }
 
+/// `quant=off|int16|int8` on the DART specs: an explicit value wins, an
+/// absent key falls back to the process-wide DART_QUANT knob.
+tabular::QuantMode quant_param(PrefetcherSpec& spec) {
+  const std::string value = spec.get_string("quant", "");
+  return value.empty() ? core::quant_mode_from_env() : tabular::parse_quant_mode(value);
+}
+
 }  // namespace
 
 void register_model_backed_prefetchers(PrefetcherRegistry& registry) {
@@ -65,6 +72,7 @@ void register_model_backed_prefetchers(PrefetcherRegistry& registry) {
     request.variant = spec.get_string("variant", "default");
     request.table_k = spec.get_uint("tables", 0);
     request.table_c = spec.get_uint("codebooks", 0);
+    request.quant = quant_param(spec);
     const DartModel model = context.dart_model(request);
     prefetch::NnAdapterOptions o = adapter_options(spec, context, /*default_sample=*/1);
     o.latency = spec.get_uint("latency", model.latency_cycles);
@@ -87,6 +95,12 @@ void register_model_backed_prefetchers(PrefetcherRegistry& registry) {
     io::ArtifactInfo info;
     auto predictor =
         std::make_shared<tabular::TabularPredictor>(io::load_predictor_artifact(file, &info));
+    // quant=off keeps whatever the artifact stored (a QNTT chunk attaches
+    // verbatim); an explicit mode or DART_QUANT re-quantizes on load.
+    const tabular::QuantMode quant = quant_param(spec);
+    if (quant != tabular::QuantMode::kOff && quant != predictor->quant_mode()) {
+      predictor->set_quant_mode(quant);
+    }
     prefetch::NnAdapterOptions o = adapter_options(spec, context, /*default_sample=*/1);
     o.prep = info.meta.prep;
     o.latency = spec.get_uint("latency", static_cast<std::size_t>(info.meta.latency_cycles));

@@ -57,6 +57,9 @@ struct ArtifactInfo {
   /// FNV-1a 64 over the whole file body (the CSUM value): a content hash
   /// usable as a cache/identity key for the trained model.
   std::uint64_t content_hash = 0;
+  /// Quantization mode of the stored QNTT chunk (DESIGN.md §10); kOff when
+  /// the artifact carries only exact float tables.
+  tabular::QuantMode quant = tabular::QuantMode::kOff;
   ArtifactMeta meta;
   nn::ModelConfig arch;
 };

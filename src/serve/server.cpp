@@ -4,6 +4,7 @@
 
 #include "common/env.hpp"
 #include "core/artifact_cache.hpp"
+#include "core/configs.hpp"
 
 namespace dart::serve {
 
@@ -32,6 +33,7 @@ ServeConfig ServeConfig::from_env() {
   c.linger_us =
       static_cast<std::size_t>(common::env_int("DART_SERVE_LINGER_US", static_cast<std::int64_t>(c.linger_us)));
   c.pin_threads = common::env_int("DART_SERVE_PIN", 0) != 0;
+  c.quant = core::quant_mode_from_env();
   return c;
 }
 
@@ -58,7 +60,7 @@ PrefetchServer::PrefetchServer(std::shared_ptr<const tabular::TabularPredictor> 
 }
 
 PrefetchServer::PrefetchServer(const std::string& path, const ServeConfig& config)
-    : PrefetchServer(core::load_dart_artifact(path).predictor, config) {}
+    : PrefetchServer(core::load_dart_artifact(path, nullptr, config.quant).predictor, config) {}
 
 PrefetchServer::~PrefetchServer() { stop(); }
 
@@ -85,7 +87,9 @@ std::uint64_t PrefetchServer::swap_model(
 }
 
 std::uint64_t PrefetchServer::swap_artifact(const std::string& path) {
-  return swap_model(core::load_dart_artifact(path).predictor);
+  // The quant mode is applied inside load_dart_artifact, BEFORE the epoch
+  // is published — shards only ever adopt fully-quantized models.
+  return swap_model(core::load_dart_artifact(path, nullptr, config_.quant).predictor);
 }
 
 ModelEpoch PrefetchServer::current_model() const {

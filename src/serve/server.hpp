@@ -18,6 +18,7 @@
 
 #include "serve/id_generator.hpp"
 #include "serve/shard.hpp"
+#include "tabular/quant.hpp"
 
 namespace dart::serve {
 
@@ -31,9 +32,16 @@ struct ServeConfig {
   std::size_t linger_us = 50;         ///< max batch-straggler wait
   bool pin_threads = false;           ///< pin shard i to core i
   std::uint64_t id_seed = 0x5eed;     ///< trace-ID generator seed
+  /// Table-quantization mode applied to artifacts loaded by the
+  /// path-taking constructor and swap_artifact (DESIGN.md §10). kOff
+  /// serves artifacts as stored (including any QNTT chunk they carry);
+  /// epochs are always published already-quantized, so shards never
+  /// observe a mode switch mid-serve.
+  tabular::QuantMode quant = tabular::QuantMode::kOff;
 
   /// Defaults overridden by DART_SERVE_SHARDS / DART_SERVE_QUEUE /
-  /// DART_SERVE_BATCH / DART_SERVE_LINGER_US / DART_SERVE_PIN.
+  /// DART_SERVE_BATCH / DART_SERVE_LINGER_US / DART_SERVE_PIN /
+  /// DART_QUANT.
   static ServeConfig from_env();
 };
 

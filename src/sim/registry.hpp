@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "sim/prefetcher.hpp"
+#include "tabular/quant.hpp"
 #include "trace/preprocess.hpp"
 
 namespace dart::nn {
@@ -94,6 +95,10 @@ struct DartModelRequest {
   std::string variant = "default";  ///< "s" | "default" | "l"
   std::size_t table_k = 0;          ///< 0 = variant default
   std::size_t table_c = 0;          ///< 0 = variant default
+  /// Table-quantization mode to serve under (DESIGN.md §10). Applied after
+  /// training/loading — artifacts are cached float and stay shareable
+  /// across modes.
+  tabular::QuantMode quant = tabular::QuantMode::kOff;
 };
 
 /// A trained tabular predictor plus its analytic cost-model latency.

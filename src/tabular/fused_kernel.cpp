@@ -59,12 +59,42 @@ nn::Tensor FusedKernel::query(const nn::Tensor& rows) const {
   common::parallel_for(t_len, [&](std::size_t r0, std::size_t r1) {
     std::vector<std::uint32_t> codes(r1 - r0);
     encoder_->encode_batch(rows.row(r0), in_dim_, r1 - r0, codes.data());
+    if (!quant_.empty()) {
+      // C = 1: the quantized "aggregation" is a dequantizing row copy.
+      aggregate_quantized(quant_, codes.data(), r1 - r0, out.row(r0), out_dim_);
+      return;
+    }
     for (std::size_t t = r0; t < r1; ++t) {
       const float* src = table_.row(codes[t - r0]);
       std::copy(src, src + out_dim_, out.row(t));
     }
   }, 32);
   return out;
+}
+
+void FusedKernel::quantize(QuantMode mode) {
+  if (mode == QuantMode::kOff) {
+    quant_ = QuantizedTable{};
+    return;
+  }
+  quant_ = quantize_table(table_.data(), 1, config_.num_prototypes, out_dim_, mode);
+}
+
+void FusedKernel::attach_quantized(QuantizedTable table) {
+  if (table.empty()) {
+    quant_ = QuantizedTable{};
+    return;
+  }
+  const std::size_t expected = config_.num_prototypes * out_dim_;
+  const bool payload_ok = table.mode == QuantMode::kInt16
+                              ? (table.q16.size() == expected && table.q8.empty())
+                              : (table.q8.size() == expected && table.q16.empty());
+  if (table.c != 1 || table.k != config_.num_prototypes || table.out_dim != out_dim_ ||
+      table.scales.size() != out_dim_ || table.offsets.size() != out_dim_ || !payload_ok) {
+    throw std::invalid_argument("FusedKernel::attach_quantized: payload shape mismatch");
+  }
+  rebuild_shuffle_lut(table);
+  quant_ = std::move(table);
 }
 
 std::size_t FusedKernel::latency_cycles() const {

@@ -24,16 +24,22 @@
 
 #include "nn/tensor.hpp"
 #include "pq/encoder.hpp"
+#include "tabular/quant.hpp"
 
 namespace dart::tabular {
 
+/// Training-time configuration of a fused table: one full-width codebook.
 struct FusedKernelConfig {
   std::size_t num_prototypes = 256;  ///< K (single codebook)
-  pq::EncoderKind encoder = pq::EncoderKind::kExact;
-  std::size_t kmeans_iters = 12;
-  std::uint64_t seed = 47;
+  pq::EncoderKind encoder = pq::EncoderKind::kExact;  ///< query-time encoder
+  std::size_t kmeans_iters = 12;  ///< k-means refinement iterations
+  std::uint64_t seed = 47;        ///< prototype-learning RNG seed
 };
 
+/// A whole layer stack collapsed into one [K, DO] table: query = encode +
+/// row copy (see the file comment). Supports the same optional quantized
+/// mirror as LinearKernel (DESIGN.md §10) — with C = 1 the "aggregation"
+/// is a dequantizing row copy, so quantization is purely a storage win.
 class FusedKernel {
  public:
   /// `stack` maps a [M, DI] batch to [M, DO] — any composition of layers
@@ -51,10 +57,29 @@ class FusedKernel {
                                 std::size_t out_dim, nn::Tensor table,
                                 std::unique_ptr<pq::Encoder> encoder);
 
-  /// Query: encode each row, copy the precomputed stack output.
+  /// Query: encode each row, copy the precomputed stack output (a
+  /// dequantizing copy when a quantized table is attached).
   nn::Tensor query(const nn::Tensor& rows) const;
 
+  /// Builds (or clears, for kOff) the quantized mirror of the table
+  /// (DESIGN.md §10). The float table is kept; kOff restores bit-exact
+  /// queries. Quantize before sharing across threads.
+  void quantize(QuantMode mode);
+
+  /// Adopts a quantized table verbatim (the `.dart` QNTT load path);
+  /// validates the payload against <1, K, DO> and throws
+  /// std::invalid_argument on mismatch.
+  void attach_quantized(QuantizedTable table);
+
+  /// Active quantization mode (kOff when the float table serves).
+  QuantMode quant_mode() const { return quant_.mode; }
+
+  /// The attached quantized table (empty() when mode is kOff).
+  const QuantizedTable& quantized() const { return quant_; }
+
+  /// Input width DI.
   std::size_t in_dim() const { return in_dim_; }
+  /// Output width DO.
   std::size_t out_dim() const { return out_dim_; }
 
   /// Table storage in bytes: K * DO entries.
@@ -64,6 +89,7 @@ class FusedKernel {
   /// no aggregation tree.
   std::size_t latency_cycles() const;
 
+  /// The training-time configuration this kernel was built with.
   const FusedKernelConfig& config() const { return config_; }
   /// Raw [K, DO] table — stack output per prototype (serialization/tests).
   const nn::Tensor& table() const { return table_; }
@@ -85,6 +111,7 @@ class FusedKernel {
   FusedKernelConfig config_;
   nn::Tensor table_;  ///< [K, DO] — stack evaluated at each prototype
   std::unique_ptr<pq::Encoder> encoder_;
+  QuantizedTable quant_;  ///< optional quantized mirror (empty = float path)
 };
 
 }  // namespace dart::tabular

@@ -18,18 +18,26 @@
 
 #include "nn/tensor.hpp"
 #include "pq/encoder.hpp"
+#include "tabular/quant.hpp"
 #include "tabular/workspace.hpp"
 
 namespace dart::tabular {
 
+/// Training-time configuration of one linear kernel: the <K, C> table
+/// geometry plus the prototype-learning knobs.
 struct KernelConfig {
-  std::size_t num_prototypes = 128;  ///< K
-  std::size_t num_subspaces = 2;     ///< C
-  pq::EncoderKind encoder = pq::EncoderKind::kExact;
-  std::size_t kmeans_iters = 10;
-  std::uint64_t seed = 7;
+  std::size_t num_prototypes = 128;  ///< K: prototypes per subspace
+  std::size_t num_subspaces = 2;     ///< C: input subspaces (codebooks)
+  pq::EncoderKind encoder = pq::EncoderKind::kExact;  ///< query-time encoder
+  std::size_t kmeans_iters = 10;  ///< k-means refinement iterations
+  std::uint64_t seed = 7;         ///< prototype-learning RNG seed
 };
 
+/// A tabularized linear layer (the paper's §V-A): y = Wx + b replaced by
+/// per-subspace prototype encoding plus C row-adds from the precomputed
+/// [C][K][DO] output table. Optionally carries a quantized mirror of the
+/// table (DESIGN.md §10) that `query_into` aggregates instead, trading a
+/// bounded per-column error for 2–4× smaller table traffic.
 class LinearKernel {
  public:
   /// `weight` [DO, DI], `bias` [DO], `training_rows` [M, DI] — the observed
@@ -50,9 +58,31 @@ class LinearKernel {
   /// Zero-allocation hot path: applies the kernel to `n` rows starting at
   /// `rows` (consecutive rows `row_stride` floats apart) and writes row i's
   /// DO outputs at `out + i * out_stride`. Strictly serial — callers own
-  /// all parallelism (DESIGN.md §6) — and allocates only from `ws`.
+  /// all parallelism (DESIGN.md §6) — and allocates only from `ws`. When a
+  /// quantized table is attached (`quantize`/`attach_quantized`), the
+  /// aggregation runs on it within the §10 error budget; otherwise the
+  /// exact float table serves.
   void query_into(const float* rows, std::size_t n, std::size_t row_stride, float* out,
                   std::size_t out_stride, InferenceWorkspace& ws) const;
+
+  /// Builds (or clears, for kOff) the quantized mirror of the output table
+  /// (DESIGN.md §10). Deterministic from the float table, which is kept —
+  /// switching back to kOff restores bit-exact float queries. Not
+  /// thread-safe vs concurrent queries: quantize before sharing.
+  void quantize(QuantMode mode);
+
+  /// Adopts a quantized table verbatim (the `.dart` QNTT-chunk load path —
+  /// bit-exact vs the saving process, no requantization). Validates the
+  /// payload against this kernel's <C, K, DO> and throws
+  /// std::invalid_argument on mismatch. Rebuilds the derived vpshufb LUT.
+  void attach_quantized(QuantizedTable table);
+
+  /// Active quantization mode (kOff when the float table serves).
+  QuantMode quant_mode() const { return quant_.mode; }
+
+  /// The attached quantized table (empty() when mode is kOff); exposed for
+  /// serialization and the golden tolerance tests.
+  const QuantizedTable& quantized() const { return quant_; }
 
   /// Applies the kernel to [T, DI] (or [M, DI]) rows -> [T, DO].
   /// Pure lookups + aggregation; no multiplications with weights.
@@ -62,9 +92,13 @@ class LinearKernel {
   /// Applies to a 3-D activation [B, T, DI] -> [B, T, DO].
   nn::Tensor query3d(const nn::Tensor& x) const;
 
+  /// Input width DI.
   std::size_t in_dim() const { return in_dim_; }
+  /// Output width DO.
   std::size_t out_dim() const { return out_dim_; }
+  /// K: prototypes per subspace.
   std::size_t num_prototypes() const { return config_.num_prototypes; }
+  /// C: input subspaces.
   std::size_t num_subspaces() const { return config_.num_subspaces; }
 
   /// Workspace code slots one `query_into` over `n` rows needs.
@@ -74,6 +108,7 @@ class LinearKernel {
   /// of Eq. 18.
   std::size_t table_bytes() const;
 
+  /// The training-time configuration this kernel was built with.
   const KernelConfig& config() const { return config_; }
 
   /// Raw table in [C][K][DO] layout: entry ((c*K)+k)*DO+o = W_o,c · P_ck
@@ -92,6 +127,7 @@ class LinearKernel {
   // table_[((c * K) + k) * DO + o] = W_o,c · P_ck (+ b_o when c == 0).
   std::vector<float> table_;
   std::vector<std::unique_ptr<pq::Encoder>> encoders_;  ///< one per subspace
+  QuantizedTable quant_;  ///< optional quantized mirror (empty = float path)
 };
 
 }  // namespace dart::tabular

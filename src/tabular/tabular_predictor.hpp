@@ -26,9 +26,9 @@ namespace dart::tabular {
 
 /// Frozen LayerNorm parameters carried over from the NN verbatim.
 struct LnParams {
-  nn::Tensor gamma;
-  nn::Tensor beta;
-  float eps = 1e-5f;
+  nn::Tensor gamma;   ///< per-feature scale
+  nn::Tensor beta;    ///< per-feature shift
+  float eps = 1e-5f;  ///< variance epsilon
 
   /// Row-wise normalization of the last dimension.
   nn::Tensor apply(const nn::Tensor& x) const;
@@ -40,21 +40,27 @@ struct LnParams {
 
 /// One tabularized encoder layer.
 struct TabularEncoderLayer {
-  std::unique_ptr<LinearKernel> qkv;
-  std::vector<std::unique_ptr<AttentionKernel>> heads;
-  std::unique_ptr<LinearKernel> out_proj;
-  LnParams ln1;
-  std::unique_ptr<LinearKernel> ffn_hidden;
-  std::unique_ptr<LinearKernel> ffn_out;
-  LnParams ln2;
+  std::unique_ptr<LinearKernel> qkv;  ///< packed Q/K/V projection, [D -> 3D]
+  std::vector<std::unique_ptr<AttentionKernel>> heads;  ///< one per head
+  std::unique_ptr<LinearKernel> out_proj;    ///< attention output projection
+  LnParams ln1;                              ///< post-attention LayerNorm
+  std::unique_ptr<LinearKernel> ffn_hidden;  ///< FFN expansion, [D -> DF]
+  std::unique_ptr<LinearKernel> ffn_out;     ///< FFN contraction, [DF -> D]
+  LnParams ln2;                              ///< post-FFN LayerNorm
 };
 
+/// The assembled table-hierarchy predictor: input/QKV/FFN/head linear
+/// kernels, per-head attention kernels, frozen LayerNorms, and the output
+/// sigmoid LUT, queried through the zero-allocation paths described in the
+/// file comment.
 class TabularPredictor {
  public:
   /// Empty predictor (no kernels) — a move-assignment target for loaders
   /// and aggregate containers; not queryable until populated.
   TabularPredictor() = default;
 
+  /// Predictor shell for architecture `arch`; kernels are then populated by
+  /// the Tabularizer (or an artifact loader).
   explicit TabularPredictor(const nn::ModelConfig& arch) : arch_(arch) {}
 
   /// Batched query: [B,T,S] segmented addr + pc -> probabilities [B, DO]
@@ -94,6 +100,29 @@ class TabularPredictor {
   /// Total table storage in bytes (tables + sigmoid LUT + LN params).
   std::size_t storage_bytes() const;
 
+  /// Quantizes (or, for kOff, restores to exact float) every linear
+  /// kernel's output table (DESIGN.md §10). Attention tables stay float —
+  /// their per-subspace scales would compound across the two lookup stages
+  /// for a small share of the query cost. Deterministic; the float tables
+  /// are kept, so modes can be switched freely. NOT thread-safe vs
+  /// concurrent queries: serving layers must quantize before publishing a
+  /// predictor epoch (serve::ShardEngine relies on this).
+  void set_quant_mode(QuantMode mode);
+
+  /// The mode applied by the last set_quant_mode / artifact load (kOff
+  /// means every kernel serves exact float tables).
+  QuantMode quant_mode() const { return quant_mode_; }
+
+  /// Records `mode` as the active quantization mode WITHOUT touching any
+  /// kernel — the `.dart` loader calls this after attaching the stored
+  /// QNTT payloads verbatim. Everywhere else, use set_quant_mode.
+  void adopt_quant_mode(QuantMode mode) { quant_mode_ = mode; }
+
+  /// Total quantized-payload bytes across all linear kernels (0 when
+  /// kOff) — the storage/traffic counterpart of storage_bytes(), reported
+  /// by the bench JSON.
+  std::size_t quantized_bytes() const;
+
   /// Writes the complete deployment bundle — every kernel table, encoder,
   /// LayerNorm, the sigmoid LUT and the architecture — as a versioned
   /// `.dart` artifact (DESIGN.md §7). Defined in `src/io/artifact.cpp`;
@@ -105,19 +134,21 @@ class TabularPredictor {
   /// missing, truncated, corrupted, or version-incompatible files.
   static TabularPredictor load(const std::string& path);
 
+  /// The architecture this predictor mirrors.
   const nn::ModelConfig& arch() const { return arch_; }
 
   // Builder access (populated by the Tabularizer).
-  std::unique_ptr<LinearKernel> addr_kernel;
-  std::unique_ptr<LinearKernel> pc_kernel;
-  nn::Tensor pos_encoding;  ///< [T, D]
-  std::vector<TabularEncoderLayer> layers;
-  LnParams final_ln;
-  std::unique_ptr<LinearKernel> head_kernel;
-  SigmoidLut sigmoid_lut;
+  std::unique_ptr<LinearKernel> addr_kernel;  ///< address embedding kernel
+  std::unique_ptr<LinearKernel> pc_kernel;    ///< PC embedding kernel
+  nn::Tensor pos_encoding;                    ///< positional encoding, [T, D]
+  std::vector<TabularEncoderLayer> layers;    ///< tabularized encoder stack
+  LnParams final_ln;                          ///< pre-head LayerNorm
+  std::unique_ptr<LinearKernel> head_kernel;  ///< output head, [D -> DO]
+  SigmoidLut sigmoid_lut;                     ///< output activation LUT
 
  private:
   nn::ModelConfig arch_;
+  QuantMode quant_mode_ = QuantMode::kOff;
 };
 
 }  // namespace dart::tabular

@@ -26,26 +26,34 @@ namespace dart::tabular {
 /// peak per-sample scratch demands (computed by
 /// `TabularPredictor::tabular_arch()` from the actual kernel configs).
 struct TabularArch {
-  std::size_t seq_len = 0;
-  std::size_t dim = 0;
-  std::size_t ffn_dim = 0;
-  std::size_t out_dim = 0;
-  std::size_t heads = 0;
-  std::size_t layers = 0;
+  std::size_t seq_len = 0;      ///< T: input sequence length
+  std::size_t dim = 0;          ///< D: model (embedding) width
+  std::size_t ffn_dim = 0;      ///< DF: FFN hidden width
+  std::size_t out_dim = 0;      ///< DO: output bitmap width
+  std::size_t heads = 0;        ///< attention heads per layer
+  std::size_t layers = 0;       ///< encoder layers
   std::size_t float_slots = 0;  ///< peak float scratch per sample
   std::size_t code_slots = 0;   ///< peak uint32 scratch per sample
 
+  /// Per-head width D / heads (0 for a head-less shell).
   std::size_t head_dim() const { return heads == 0 ? 0 : dim / heads; }
 };
 
+/// The per-thread inference arena of the file comment: a bump allocator
+/// over chunked, pointer-stable slabs (one for floats, one for uint32
+/// codes) with mark/rewind scoping. Steady-state query paths allocate
+/// exclusively from it — zero heap traffic after the first sample.
 class InferenceWorkspace {
  public:
+  /// Empty workspace; slabs grow on first use (or call `ensure`).
   InferenceWorkspace() = default;
   /// Pre-sizes the slabs so a forward pass of `arch` never overflows.
   explicit InferenceWorkspace(const TabularArch& arch) { ensure(arch); }
 
   InferenceWorkspace(const InferenceWorkspace&) = delete;
   InferenceWorkspace& operator=(const InferenceWorkspace&) = delete;
+  /// Movable so containers of per-shard workspaces work; moved-from
+  /// workspaces are empty.
   InferenceWorkspace(InferenceWorkspace&&) = default;
   InferenceWorkspace& operator=(InferenceWorkspace&&) = default;
 
@@ -58,14 +66,22 @@ class InferenceWorkspace {
   /// Bump-allocates `n` uint32 code slots (uninitialized).
   std::uint32_t* codes(std::size_t n) { return code_slab_.alloc(n); }
 
+  /// A snapshot of both slabs' bump positions; obtained from `mark()` and
+  /// handed back to `rewind()`. Markers must be rewound in LIFO order
+  /// (stack discipline) — rewinding an outer marker invalidates every
+  /// allocation and marker taken after it.
   struct Marker {
-    std::size_t float_chunk, float_used;
-    std::size_t code_chunk, code_used;
+    std::size_t float_chunk;  ///< float slab: active chunk index
+    std::size_t float_used;   ///< float slab: elements used in that chunk
+    std::size_t code_chunk;   ///< code slab: active chunk index
+    std::size_t code_used;    ///< code slab: elements used in that chunk
   };
 
+  /// Captures the current bump positions of both slabs.
   Marker mark() const {
     return {float_slab_.chunk_idx_, float_slab_.used_, code_slab_.chunk_idx_, code_slab_.used_};
   }
+  /// Releases everything allocated after `m` without freeing memory.
   void rewind(const Marker& m) {
     float_slab_.rewind(m.float_chunk, m.float_used);
     code_slab_.rewind(m.code_chunk, m.code_used);
