@@ -10,15 +10,19 @@
 //
 //   {"streams": S, "requests_per_stream": R, "queue_capacity": Q,
 //    "batch_cap": B, "linger_us": L,
-//    "counters": {"submitted": N, "completed": N, "lost": 0,
-//                 "id_mismatches": 0},
+//    "counters": {"submitted": N, "completed": N, "shed": 0, "lost": 0,
+//                 "id_mismatches": 0, "deadline_missed": 0,
+//                 "watchdog_restarts": 0, "reload_rejected": 0},
 //    "host": {...}, "perf": {...}}
 //
 // The `counters` object is deterministic for a given workload shape —
-// every accepted request must complete, none may be lost or mis-routed —
-// so CI diffs it against the committed baseline (tools/diff_sim_counters.py
-// ignores the host-dependent `host`/`perf` sections). The bench itself
-// exits nonzero if the no-loss invariants fail.
+// every accepted request must resolve (completed + shed == submitted),
+// none may be lost or mis-routed, and at the default config (no
+// deadlines, no watermarks, watchdog miss budget far above CI jitter) the
+// overload/robustness counters are all zero — so CI diffs it against the
+// committed baseline (tools/diff_sim_counters.py ignores the
+// host-dependent `host`/`perf` sections). The bench itself exits nonzero
+// if the no-loss invariants fail.
 //
 // Knobs: DART_SERVE_SHARDS/QUEUE/BATCH/LINGER_US/PIN (server),
 // DART_SERVE_STREAMS/REQUESTS/WINDOW (load), DART_BENCH_REPS (best-of-R),
@@ -70,13 +74,14 @@ int main(int argc, char** argv) {
     serve::PrefetchServer server(model, server_config);
     shards = server.num_shards();
     serve::LoadReport rep = serve::run_client_load(server, load);
-    if (rep.completed != rep.submitted || rep.id_mismatches != 0 ||
+    if (rep.completed + rep.shed != rep.submitted || rep.id_mismatches != 0 ||
         rep.submitted != load.streams * load.requests_per_stream) {
       std::fprintf(stderr,
                    "bench_serve: no-loss invariant violated (submitted %llu, completed %llu, "
-                   "id_mismatches %llu)\n",
+                   "shed %llu, id_mismatches %llu)\n",
                    static_cast<unsigned long long>(rep.submitted),
                    static_cast<unsigned long long>(rep.completed),
+                   static_cast<unsigned long long>(rep.shed),
                    static_cast<unsigned long long>(rep.id_mismatches));
       return 1;
     }
@@ -115,12 +120,17 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"queue_capacity\": %zu,\n  \"batch_cap\": %zu,\n  \"linger_us\": %zu,\n",
                server_config.queue_capacity, server_config.batch_cap, server_config.linger_us);
   std::fprintf(f,
-               "  \"counters\": {\"submitted\": %llu, \"completed\": %llu, \"lost\": %llu, "
-               "\"id_mismatches\": %llu},\n",
+               "  \"counters\": {\"submitted\": %llu, \"completed\": %llu, \"shed\": %llu, "
+               "\"lost\": %llu, \"id_mismatches\": %llu, \"deadline_missed\": %llu, "
+               "\"watchdog_restarts\": %llu, \"reload_rejected\": %llu},\n",
                static_cast<unsigned long long>(best.submitted),
                static_cast<unsigned long long>(best.completed),
-               static_cast<unsigned long long>(best.submitted - best.completed),
-               static_cast<unsigned long long>(best.id_mismatches));
+               static_cast<unsigned long long>(best.shed),
+               static_cast<unsigned long long>(best.submitted - best.completed - best.shed),
+               static_cast<unsigned long long>(best.id_mismatches),
+               static_cast<unsigned long long>(best.server.deadline_missed),
+               static_cast<unsigned long long>(best.server.watchdog_restarts),
+               static_cast<unsigned long long>(best.server.reload_rejected));
   std::fprintf(f, "  \"host\": {\"shards\": %zu, \"hardware_threads\": %u, \"pinned\": %d},\n",
                shards, std::thread::hardware_concurrency(), server_config.pin_threads ? 1 : 0);
   std::fprintf(f,

@@ -132,12 +132,14 @@ std::optional<sim::DartModel> try_load_dart_artifact(const std::string& path,
   }
 }
 
-sim::DartModel load_dart_artifact(const std::string& path, io::ArtifactInfo* info,
-                                  tabular::QuantMode quant) {
-  io::ArtifactInfo local;
+namespace {
+
+/// Shared tail of the loud reload paths: quantize before sharing, then wrap
+/// the predictor as a sim::DartModel.
+sim::DartModel finish_loud_load(tabular::TabularPredictor&& loaded, const io::ArtifactInfo& local,
+                                io::ArtifactInfo* info, tabular::QuantMode quant) {
   sim::DartModel model;
-  auto predictor =
-      std::make_shared<tabular::TabularPredictor>(io::load_predictor_artifact(path, &local));
+  auto predictor = std::make_shared<tabular::TabularPredictor>(std::move(loaded));
   if (quant != tabular::QuantMode::kOff && quant != predictor->quant_mode()) {
     // Quantize before the predictor escapes this function: serving layers
     // publish epochs already-quantized (set_quant_mode is not query-safe).
@@ -148,6 +150,21 @@ sim::DartModel load_dart_artifact(const std::string& path, io::ArtifactInfo* inf
   if (!local.meta.display_name.empty()) model.display_name = local.meta.display_name;
   if (info != nullptr) *info = local;
   return model;
+}
+
+}  // namespace
+
+sim::DartModel load_dart_artifact(const std::string& path, io::ArtifactInfo* info,
+                                  tabular::QuantMode quant) {
+  io::ArtifactInfo local;
+  return finish_loud_load(io::load_predictor_artifact(path, &local), local, info, quant);
+}
+
+sim::DartModel load_dart_artifact_bytes(std::vector<std::uint8_t> bytes, const std::string& name,
+                                        io::ArtifactInfo* info, tabular::QuantMode quant) {
+  io::ArtifactInfo local;
+  return finish_loud_load(io::load_predictor_artifact_bytes(std::move(bytes), name, &local),
+                          local, info, quant);
 }
 
 bool save_dart_artifact(const std::string& path, trace::App app, const TrainedDart& model,

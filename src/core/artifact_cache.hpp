@@ -77,6 +77,14 @@ std::optional<sim::DartModel> try_load_dart_artifact(
 sim::DartModel load_dart_artifact(const std::string& path, io::ArtifactInfo* info = nullptr,
                                   tabular::QuantMode quant = tabular::QuantMode::kOff);
 
+/// load_dart_artifact over an in-memory byte image (`name` labels errors).
+/// The validate-then-publish swap path (serve::PrefetchServer::swap_artifact,
+/// DESIGN.md §11) reads the file once, optionally lets the fault injector
+/// damage the image, and parses it fully before any epoch is published.
+sim::DartModel load_dart_artifact_bytes(std::vector<std::uint8_t> bytes, const std::string& name,
+                                        io::ArtifactInfo* info = nullptr,
+                                        tabular::QuantMode quant = tabular::QuantMode::kOff);
+
 /// Persists a trained model at `path` (creating parent directories).
 /// Best-effort: returns false and warns on I/O failure — a read-only cache
 /// directory must never fail the producing run.

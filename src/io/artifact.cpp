@@ -137,6 +137,13 @@ class ChunkReader {
     return ByteReader(file_.data() + span->first, span->second);
   }
 
+  /// File byte offset of `tag`'s payload (quarantine-log context); 0 when
+  /// the chunk is absent.
+  std::size_t offset_of(const char tag[5]) const {
+    const auto* span = find_span(tag);
+    return span ? span->first : 0;
+  }
+
   std::uint32_t version() const { return version_; }
   std::uint64_t content_hash() const { return hash_; }
 
@@ -618,21 +625,40 @@ auto with_clean_errors(const std::string& path, Fn&& fn) -> decltype(fn()) {
   }
 }
 
+/// Runs `fn` over the required chunk `tag`, stamping any failure with the
+/// chunk tag and its file byte offset so quarantine logs (the serve-side
+/// swap_artifact rejection path, DESIGN.md §11) say exactly where the
+/// damage sits: "<path>: chunk 'TPRD' at byte offset 128: ...".
+template <typename Fn>
+auto in_chunk(const ChunkReader& container, const char tag[5], Fn&& fn)
+    -> decltype(fn(std::declval<ByteReader&>())) {
+  ByteReader r = container.require(tag);
+  try {
+    return fn(r);
+  } catch (const ArtifactError& e) {
+    throw ArtifactError(std::string("chunk '") + tag + "' at byte offset " +
+                        std::to_string(container.offset_of(tag)) + ": " + e.what());
+  } catch (const std::exception& e) {
+    throw ArtifactError(std::string("chunk '") + tag + "' at byte offset " +
+                        std::to_string(container.offset_of(tag)) + ": invalid artifact: " +
+                        e.what());
+  }
+}
+
 ArtifactInfo info_from_container(const ChunkReader& container) {
   ArtifactInfo info;
   info.format_version = container.version();
   info.content_hash = container.content_hash();
   if (container.has(kTagMeta)) {
-    ByteReader r = container.require(kTagMeta);
-    info.meta = get_meta(r);
+    info.meta = in_chunk(container, kTagMeta, [](ByteReader& r) { return get_meta(r); });
   }
   if (container.has(kTagArch)) {
-    ByteReader r = container.require(kTagArch);
-    info.arch = get_model_config(r);
+    info.arch =
+        in_chunk(container, kTagArch, [](ByteReader& r) { return get_model_config(r); });
   }
   if (container.has(kTagQuant)) {
-    ByteReader r = container.require(kTagQuant);
-    info.quant = decode_quant_mode(r.u8());
+    info.quant =
+        in_chunk(container, kTagQuant, [](ByteReader& r) { return decode_quant_mode(r.u8()); });
   }
   return info;
 }
@@ -685,20 +711,40 @@ std::uint64_t save_predictor_artifact(const std::string& path,
   });
 }
 
-tabular::TabularPredictor load_predictor_artifact(const std::string& path, ArtifactInfo* info) {
-  return with_clean_errors(path, [&]() -> tabular::TabularPredictor {
-    ChunkReader container(read_file(path));
-    ByteReader arch_reader = container.require(kTagArch);
-    const nn::ModelConfig arch = get_model_config(arch_reader);
-    ByteReader body = container.require(kTagPredictor);
-    tabular::TabularPredictor predictor = get_predictor(body, arch);
+std::vector<std::uint8_t> read_artifact_file(const std::string& path) { return read_file(path); }
+
+tabular::TabularPredictor load_predictor_artifact_bytes(std::vector<std::uint8_t> bytes,
+                                                        const std::string& name,
+                                                        ArtifactInfo* info) {
+  return with_clean_errors(name, [&]() -> tabular::TabularPredictor {
+    ChunkReader container(std::move(bytes));
+    const nn::ModelConfig arch =
+        in_chunk(container, kTagArch, [](ByteReader& r) { return get_model_config(r); });
+    tabular::TabularPredictor predictor = in_chunk(
+        container, kTagPredictor, [&](ByteReader& r) { return get_predictor(r, arch); });
     if (container.has(kTagQuant)) {
-      ByteReader quant = container.require(kTagQuant);
-      attach_predictor_quant(quant, predictor);
+      in_chunk(container, kTagQuant, [&](ByteReader& r) {
+        attach_predictor_quant(r, predictor);
+        return 0;
+      });
     }
     if (info) *info = info_from_container(container);
     return predictor;
   });
+}
+
+tabular::TabularPredictor load_predictor_artifact(const std::string& path, ArtifactInfo* info) {
+  return load_predictor_artifact_bytes(read_file(path), path, info);
+}
+
+tabular::TabularPredictor clone_predictor(const tabular::TabularPredictor& predictor) {
+  // The predictor is deliberately non-copyable; the codec round trip is the
+  // sanctioned clone and is bit-exact by the artifact contract (DESIGN.md
+  // §7). Quantized mirrors are not cloned — callers pick the clone's mode.
+  ByteWriter w;
+  put_predictor(w, predictor);
+  ByteReader r(w.bytes().data(), w.size());
+  return get_predictor(r, predictor.arch());
 }
 
 ArtifactInfo read_artifact_info(const std::string& path) {

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "io/bytes.hpp"
 #include "nn/transformer.hpp"
@@ -76,6 +77,27 @@ std::uint64_t save_predictor_artifact(const std::string& path,
 /// corrupted, or version-mismatched files.
 tabular::TabularPredictor load_predictor_artifact(const std::string& path,
                                                   ArtifactInfo* info = nullptr);
+
+/// Reads the raw bytes of the artifact file at `path` (no parsing). Throws
+/// ArtifactError on I/O failure. Pairs with load_predictor_artifact_bytes
+/// so callers can validate an image fully before acting on it — the
+/// serve-side validate-then-publish reload (DESIGN.md §11) and the
+/// fault-injection hooks both work on this byte image.
+std::vector<std::uint8_t> read_artifact_file(const std::string& path);
+
+/// Parses a predictor artifact from an in-memory byte image. `name` labels
+/// error messages (usually the originating path). Error strings carry the
+/// failing chunk tag and file byte offset, e.g.
+/// "model.dart: chunk 'TPRD' at byte offset 128: truncated ...".
+tabular::TabularPredictor load_predictor_artifact_bytes(std::vector<std::uint8_t> bytes,
+                                                        const std::string& name,
+                                                        ArtifactInfo* info = nullptr);
+
+/// Clones a predictor through the artifact codec's in-memory round trip —
+/// the sanctioned copy of the deliberately non-copyable TabularPredictor,
+/// bit-exact by the artifact contract. The clone carries float tables only
+/// (quant mode kOff); callers re-quantize as needed.
+tabular::TabularPredictor clone_predictor(const tabular::TabularPredictor& predictor);
 
 /// Reads only the header + META/ARCH chunks (still checksum-verified).
 /// Throws ArtifactError on any container-level problem.

@@ -121,7 +121,9 @@ std::string ByteReader::str() {
 // near-2^64 count cannot overflow the byte total) before any allocation.
 std::vector<float> ByteReader::f32s() {
   const std::uint64_t n = u64();
-  if (n > remaining() / 4) throw ArtifactError("artifact float array exceeds payload");
+  if (n > remaining() / 4) throw ArtifactError("artifact float array of " + std::to_string(n) +
+                        " elements at byte offset " + std::to_string(pos_) +
+                        " exceeds the remaining payload");
   std::vector<float> out(n);
   for (std::uint64_t i = 0; i < n; ++i) out[i] = f32();
   return out;
@@ -129,7 +131,9 @@ std::vector<float> ByteReader::f32s() {
 
 std::vector<std::uint32_t> ByteReader::u32s() {
   const std::uint64_t n = u64();
-  if (n > remaining() / 4) throw ArtifactError("artifact uint32 array exceeds payload");
+  if (n > remaining() / 4) throw ArtifactError("artifact uint32 array of " + std::to_string(n) +
+                        " elements at byte offset " + std::to_string(pos_) +
+                        " exceeds the remaining payload");
   std::vector<std::uint32_t> out(n);
   for (std::uint64_t i = 0; i < n; ++i) out[i] = u32();
   return out;
@@ -137,7 +141,9 @@ std::vector<std::uint32_t> ByteReader::u32s() {
 
 std::vector<std::int32_t> ByteReader::i32s() {
   const std::uint64_t n = u64();
-  if (n > remaining() / 4) throw ArtifactError("artifact int32 array exceeds payload");
+  if (n > remaining() / 4) throw ArtifactError("artifact int32 array of " + std::to_string(n) +
+                        " elements at byte offset " + std::to_string(pos_) +
+                        " exceeds the remaining payload");
   std::vector<std::int32_t> out(n);
   for (std::uint64_t i = 0; i < n; ++i) out[i] = static_cast<std::int32_t>(u32());
   return out;
@@ -145,7 +151,9 @@ std::vector<std::int32_t> ByteReader::i32s() {
 
 std::vector<std::int16_t> ByteReader::i16s() {
   const std::uint64_t n = u64();
-  if (n > remaining() / 2) throw ArtifactError("artifact int16 array exceeds payload");
+  if (n > remaining() / 2) throw ArtifactError("artifact int16 array of " + std::to_string(n) +
+                        " elements at byte offset " + std::to_string(pos_) +
+                        " exceeds the remaining payload");
   std::vector<std::int16_t> out(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     need(2);
@@ -159,7 +167,9 @@ std::vector<std::int16_t> ByteReader::i16s() {
 
 std::vector<std::int8_t> ByteReader::i8s() {
   const std::uint64_t n = u64();
-  if (n > remaining()) throw ArtifactError("artifact int8 array exceeds payload");
+  if (n > remaining()) throw ArtifactError("artifact int8 array of " + std::to_string(n) +
+                        " elements at byte offset " + std::to_string(pos_) +
+                        " exceeds the remaining payload");
   std::vector<std::int8_t> out(n);
   for (std::uint64_t i = 0; i < n; ++i) out[i] = static_cast<std::int8_t>(data_[pos_++]);
   return out;
@@ -168,7 +178,8 @@ std::vector<std::int8_t> ByteReader::i8s() {
 nn::Tensor ByteReader::tensor() {
   const std::uint32_t ndim = u32();
   if (ndim == 0 || ndim > 4) {
-    throw ArtifactError("artifact tensor has unsupported rank " + std::to_string(ndim));
+    throw ArtifactError("artifact tensor at byte offset " + std::to_string(pos_) +
+                        " has unsupported rank " + std::to_string(ndim));
   }
   std::vector<std::size_t> shape(ndim);
   std::uint64_t numel = 1;
@@ -177,14 +188,16 @@ nn::Tensor ByteReader::tensor() {
     // A corrupted extent must not overflow the element count: each extent is
     // bounded by the payload that must still follow.
     if (d == 0 || d > remaining() || numel > remaining()) {
-      throw ArtifactError("artifact tensor extent is inconsistent with payload size");
+      throw ArtifactError("artifact tensor extent at byte offset " + std::to_string(pos_) +
+                          " is inconsistent with payload size");
     }
     shape[i] = static_cast<std::size_t>(d);
     numel *= d;
   }
   std::vector<float> payload = f32s();
   if (payload.size() != numel) {
-    throw ArtifactError("artifact tensor payload does not match its shape");
+    throw ArtifactError("artifact tensor payload at byte offset " + std::to_string(pos_) +
+                        " does not match its shape");
   }
   nn::Tensor t(shape);
   std::memcpy(t.data(), payload.data(), payload.size() * sizeof(float));

@@ -1,6 +1,8 @@
 #include "serve/loadgen.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
@@ -24,9 +26,15 @@ struct Slot {
 struct StreamCounters {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t backoff_us = 0;
   std::uint64_t id_mismatches = 0;
 };
+
+/// Backpressure backoff bounds: exponential from base to cap, jittered.
+constexpr std::uint64_t kBackoffBaseUs = 4;
+constexpr std::uint64_t kBackoffCapUs = 512;
 
 /// Replays one app stream: rolls a T-deep history over the trace, issues
 /// one request per post-warmup access (wrapping the trace as needed) and
@@ -58,7 +66,11 @@ void run_stream(ClientSession& session, const LoadOptions& options, trace::App a
     Response r;
     do {
       while (session.poll(r)) {
-        ++counters.completed;
+        if (r.status == Response::Status::kShed) {
+          ++counters.shed;  // explicit drop: the slot frees, probs hold no result
+        } else {
+          ++counters.completed;
+        }
         const std::size_t idx = slot_of(r.probs);
         if (idx == slots.size() || slots[idx].expect_id != r.trace_id) {
           ++counters.id_mismatches;
@@ -100,13 +112,23 @@ void run_stream(ClientSession& session, const LoadOptions& options, trace::App a
       trace::segment_value(hist_pcs[h] >> 2, prep.pc_segments, prep.segment_bits,
                            slot.pc.data() + t * prep.pc_segments);
     }
-    // Submit, absorbing backpressure by draining and retrying.
-    for (;;) {
+    // Submit, absorbing backpressure by draining and retrying under bounded
+    // exponential backoff with seeded jitter — a hot spin here would steal
+    // the very cycles the overloaded shard needs to drain its queue, and
+    // synchronized clients would retry in lockstep without the jitter.
+    for (std::uint64_t attempt = 0;; ++attempt) {
       slot.expect_id = session.submit(slot.addr.data(), slot.pc.data(), slot.probs.data());
       if (slot.expect_id != 0) break;
       ++counters.rejected;
       drain(false);
-      std::this_thread::yield();
+      const std::uint64_t cap =
+          std::min(kBackoffCapUs, kBackoffBaseUs << std::min<std::uint64_t>(attempt, 7));
+      // Deterministic jitter in [cap/2, cap]: a fresh SplitMix64 draw per
+      // retry, seeded by the stream, so runs are reproducible.
+      const std::uint64_t sleep_us =
+          cap / 2 + common::derive_seed(seed, counters.rejected) % (cap / 2 + 1);
+      counters.backoff_us += sleep_us;
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
     }
     ++counters.submitted;
     drain(false);
@@ -160,7 +182,9 @@ LoadReport run_client_load(PrefetchServer& server, const LoadOptions& options) {
   for (const StreamCounters& c : counters) {
     report.submitted += c.submitted;
     report.completed += c.completed;
+    report.shed += c.shed;
     report.rejected += c.rejected;
+    report.backoff_us += c.backoff_us;
     report.id_mismatches += c.id_mismatches;
   }
   report.predictions_per_sec =

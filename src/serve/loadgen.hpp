@@ -32,14 +32,18 @@ struct LoadOptions {
   static LoadOptions from_env();
 };
 
-/// Outcome of one load run. The no-loss invariants (`completed ==
+/// Outcome of one load run. The no-loss invariants (`completed + shed ==
 /// submitted`, `lost == 0`, `id_mismatches == 0`) are deterministic;
-/// throughput/latency fields are host-dependent.
+/// throughput/latency fields are host-dependent. Backpressure retries use
+/// bounded exponential backoff with seeded jitter (base 4 us, cap 512 us),
+/// never a hot spin.
 struct LoadReport {
   std::size_t streams = 0;
   std::uint64_t submitted = 0;       ///< requests accepted by the server
-  std::uint64_t completed = 0;       ///< responses received by clients
+  std::uint64_t completed = 0;       ///< responses served (Response::Status::kOk)
+  std::uint64_t shed = 0;            ///< responses explicitly shed by the server
   std::uint64_t rejected = 0;        ///< backpressure rejections (each retried)
+  std::uint64_t backoff_us = 0;      ///< total client backoff slept across retries
   std::uint64_t id_mismatches = 0;   ///< responses with an unexpected trace ID
   double elapsed_s = 0.0;            ///< wall-clock of the client phase
   double predictions_per_sec = 0.0;  ///< completed / elapsed_s

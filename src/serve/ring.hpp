@@ -44,11 +44,17 @@ template <typename T>
 class SpscRing {
  public:
   /// Ring holding at least `capacity` elements (rounded up to a power of
-  /// two, minimum 2).
-  explicit SpscRing(std::size_t capacity)
+  /// two, minimum 2). `start_pos` is the initial head/tail position —
+  /// production rings start at 0; tests start near the uint64 wrap points
+  /// to prove position arithmetic survives index-type overflow.
+  explicit SpscRing(std::size_t capacity, std::uint64_t start_pos = 0)
       : capacity_(ceil_pow2(capacity)),
         mask_(capacity_ - 1),
-        slots_(new T[capacity_]) {}
+        slots_(new T[capacity_]),
+        tail_(start_pos),
+        head_cache_(start_pos),
+        head_(start_pos),
+        tail_cache_(start_pos) {}
 
   /// Producer side: enqueues `v`; false when the ring is full.
   bool try_push(const T& v) {
@@ -75,6 +81,8 @@ class SpscRing {
   }
 
   /// Element count as last published (racy by design; monitoring only).
+  /// The subtraction is wrap-safe: positions are modular uint64, so the
+  /// difference is exact even when the tail has wrapped past 2^64.
   std::size_t size_approx() const {
     return static_cast<std::size_t>(tail_.load(std::memory_order_relaxed) -
                                     head_.load(std::memory_order_relaxed));
@@ -106,11 +114,23 @@ template <typename T>
 class MpscRing {
  public:
   /// Ring holding at least `capacity` elements (rounded up to a power of
-  /// two, minimum 2).
-  explicit MpscRing(std::size_t capacity)
-      : capacity_(ceil_pow2(capacity)), mask_(capacity_ - 1), cells_(new Cell[capacity_]) {
+  /// two, minimum 2). `start_pos` is the initial head/tail position —
+  /// production rings start at 0; tests start near 2^63 / 2^64 to prove the
+  /// sequence arithmetic survives index-type overflow. Each slot is armed
+  /// with the first position at or past `start_pos` that maps to it.
+  explicit MpscRing(std::size_t capacity, std::uint64_t start_pos = 0)
+      : capacity_(ceil_pow2(capacity)),
+        mask_(capacity_ - 1),
+        cells_(new Cell[capacity_]),
+        tail_(start_pos),
+        head_(start_pos) {
     for (std::size_t i = 0; i < capacity_; ++i) {
-      cells_[i].seq.store(i, std::memory_order_relaxed);
+      // base + i cannot wrap here (base <= 2^64 - capacity, i < capacity);
+      // the += capacity for slots behind start_pos may wrap, which is
+      // exactly the modular position the producer will claim them with.
+      std::uint64_t pos = (start_pos & ~static_cast<std::uint64_t>(mask_)) + i;
+      if (pos < start_pos) pos += capacity_;
+      cells_[i].seq.store(pos, std::memory_order_relaxed);
     }
   }
 
@@ -120,7 +140,11 @@ class MpscRing {
     for (;;) {
       Cell& cell = cells_[pos & mask_];
       const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
-      const std::int64_t diff = static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      // Subtract in uint64 (wraps mod 2^64) and reinterpret as signed:
+      // |seq - pos| < 2 * capacity, so the sign survives wraparound.
+      // Casting each operand separately would overflow at positions
+      // crossing 2^63.
+      const std::int64_t diff = static_cast<std::int64_t>(seq - pos);
       if (diff == 0) {
         if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
           cell.value = v;
@@ -143,7 +167,8 @@ class MpscRing {
     const std::uint64_t pos = head_.load(std::memory_order_relaxed);
     Cell& cell = cells_[pos & mask_];
     const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
-    if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) < 0) {
+    // Wrap-safe signed comparison (see try_push).
+    if (static_cast<std::int64_t>(seq - (pos + 1)) < 0) {
       return false;  // producer has not published this position yet
     }
     out = cell.value;
@@ -153,11 +178,14 @@ class MpscRing {
   }
 
   /// Element count as last published (racy by design; used for the shard
-  /// queue-depth counters).
+  /// queue-depth counters). Computed with wrap-safe modular subtraction —
+  /// comparing raw positions would report 0 whenever the tail wraps past
+  /// 2^64 ahead of the head. Any difference beyond the capacity is a
+  /// transient racy view and is clamped to 0.
   std::size_t size_approx() const {
-    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-    const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+    const std::uint64_t depth = tail_.load(std::memory_order_relaxed) -
+                                head_.load(std::memory_order_relaxed);
+    return depth <= capacity_ ? static_cast<std::size_t>(depth) : 0;
   }
 
   std::size_t capacity() const { return capacity_; }

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/id_generator.hpp"
@@ -32,6 +34,25 @@ struct ServeConfig {
   std::size_t linger_us = 50;         ///< max batch-straggler wait
   bool pin_threads = false;           ///< pin shard i to core i
   std::uint64_t id_seed = 0x5eed;     ///< trace-ID generator seed
+  /// Per-request deadline stamped at submit, microseconds; 0 = none. A
+  /// request still queued past its deadline is completed as kShed instead
+  /// of served (DESIGN.md §11).
+  std::uint64_t deadline_us = 0;
+  /// Queue-depth admission watermarks; 0 disables overload control. Above
+  /// `watermark_hi` a shard refuses new submits and, sustained, degrades to
+  /// its int8 twin epoch; it recovers at `watermark_lo` (0 = hi/2).
+  std::size_t watermark_hi = 0;
+  std::size_t watermark_lo = 0;
+  /// Watchdog sweep interval in milliseconds; 0 disables the watchdog. A
+  /// shard whose heartbeat is unchanged for `watchdog_miss_budget`
+  /// consecutive sweeps is declared stalled and its thread restarted.
+  std::size_t watchdog_ms = 1000;
+  std::size_t watchdog_miss_budget = 8;
+  /// swap_artifact quarantine policy: a load rejected as io::ArtifactError
+  /// is retried up to `reload_retries` times with doubling backoff starting
+  /// at `reload_backoff_us`, then rethrown — the old epoch serves on.
+  std::size_t reload_retries = 3;
+  std::uint64_t reload_backoff_us = 1000;
   /// Table-quantization mode applied to artifacts loaded by the
   /// path-taking constructor and swap_artifact (DESIGN.md §10). kOff
   /// serves artifacts as stored (including any QNTT chunk they carry);
@@ -41,7 +62,8 @@ struct ServeConfig {
 
   /// Defaults overridden by DART_SERVE_SHARDS / DART_SERVE_QUEUE /
   /// DART_SERVE_BATCH / DART_SERVE_LINGER_US / DART_SERVE_PIN /
-  /// DART_QUANT.
+  /// DART_SERVE_DEADLINE_US / DART_SERVE_WATERMARK_HI /
+  /// DART_SERVE_WATERMARK_LO / DART_SERVE_WATCHDOG_MS / DART_QUANT.
   static ServeConfig from_env();
 };
 
@@ -116,8 +138,14 @@ class PrefetchServer {
   /// sized to it — else std::invalid_argument. Returns the new epoch.
   std::uint64_t swap_model(std::shared_ptr<const tabular::TabularPredictor> model);
 
-  /// Hot-swaps to the `.dart` artifact at `path` (throws io::ArtifactError
-  /// on container problems, std::invalid_argument on geometry mismatch).
+  /// Hot-swaps to the `.dart` artifact at `path`, validate-then-publish: the
+  /// bytes are read, parsed, checksum-verified and geometry-checked in full
+  /// before any shard can observe the new epoch, so a corrupt or truncated
+  /// artifact is quarantined (counted in stats().reload_rejected, retried
+  /// `reload_retries` times with doubling backoff) while the old epoch keeps
+  /// serving. Throws io::ArtifactError after the retry budget, or
+  /// std::invalid_argument immediately on a geometry mismatch — either way
+  /// the server keeps running on the previously published epoch.
   std::uint64_t swap_artifact(const std::string& path);
 
   /// Epoch currently published to the shards (starts at 1).
@@ -144,6 +172,12 @@ class PrefetchServer {
   friend class ClientSession;
 
   ModelEpoch current_model() const;
+  /// Builds the int8 twin a Degraded shard serves (null when overload
+  /// control is off; the primary itself when it is already int8).
+  std::shared_ptr<const tabular::TabularPredictor> make_degraded_twin(
+      const std::shared_ptr<const tabular::TabularPredictor>& model) const;
+  /// Watchdog sweep loop: heartbeat deltas -> miss budget -> restart.
+  void watchdog_loop();
 
   ServeConfig config_;
   std::atomic<std::uint64_t> epoch_{1};
@@ -152,6 +186,12 @@ class PrefetchServer {
   std::vector<std::unique_ptr<ShardEngine>> shards_;
   std::shared_ptr<const IdGenerator> ids_;
   std::atomic<std::size_t> next_client_{0};
+  std::atomic<std::uint64_t> reload_rejected_{0};  ///< quarantined artifact swaps
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;       ///< guarded by watchdog_mu_
+  std::thread watchdog_;
 };
 
 }  // namespace dart::serve

@@ -49,19 +49,33 @@ struct Request {
   float* probs_out = nullptr;             ///< [out_dim] result probabilities
   SpscRing<Response>* completions = nullptr;  ///< the client's egress ring
   std::uint64_t enqueue_ns = 0;           ///< submit timestamp (latency base)
+  std::uint64_t deadline_ns = 0;          ///< absolute deadline; 0 = none
 };
 
 /// Completion record pushed to the client's SPSC ring. Popping it (acquire)
 /// publishes the probabilities written to the request's `probs_out`.
 struct Response {
+  /// How the request resolved. Every accepted request gets exactly one
+  /// completion — overload never loses work silently (DESIGN.md §11).
+  enum class Status : std::uint8_t {
+    kOk = 0,    ///< served; `probs` is published and readable
+    kShed = 1,  ///< dropped unserved (expired deadline or shard restart);
+                ///< `probs` identifies the slot but holds no result
+  };
+
   std::uint64_t trace_id = 0;  ///< echoes Request::trace_id
   std::uint64_t epoch = 0;     ///< model epoch that served the request
   float* probs = nullptr;      ///< == Request::probs_out
+  Status status = Status::kOk; ///< served vs explicitly shed
 };
 
-/// A model epoch: the immutable predictor plus its version number.
+/// A model epoch: the immutable predictor plus its version number, and the
+/// optional pre-built int8-quantized twin a Degraded shard serves instead
+/// (same geometry, built by the server before publication — shards never
+/// mutate a shared predictor; DESIGN.md §11).
 struct ModelEpoch {
   std::shared_ptr<const tabular::TabularPredictor> model;
+  std::shared_ptr<const tabular::TabularPredictor> degraded;  ///< may be null
   std::uint64_t epoch = 0;
 };
 
@@ -71,6 +85,12 @@ struct ShardConfig {
   std::size_t batch_cap = 64;         ///< micro-batch size limit
   std::size_t linger_us = 50;         ///< max wait for batch stragglers
   int pin_core = -1;                  ///< >= 0: pin the shard thread to this core
+  /// Queue-depth admission watermarks (0 = overload control off). At depth
+  /// >= hi the shard stops admitting (submit fails, shed-newest); it
+  /// resumes at depth <= lo — the gap is the hysteresis band. Sustained
+  /// depth >= hi also drives Healthy -> Degraded (see DESIGN.md §11).
+  std::size_t watermark_hi = 0;
+  std::size_t watermark_lo = 0;
 };
 
 class ShardEngine {
@@ -96,16 +116,39 @@ class ShardEngine {
   /// stop() is still served (flush semantics, the no-loss contract).
   void stop();
 
+  /// Watchdog: marks the shard Stalled (heartbeat stopped past the miss
+  /// budget). The shard thread reclaims Healthy itself if it resumes.
+  void mark_stalled();
+
+  /// Watchdog: clears a Stalled mark back to Healthy (a shard whose
+  /// heartbeat resumed on its own, e.g. one that was merely descheduled).
+  /// Leaves Healthy/Degraded untouched.
+  void clear_stalled();
+
+  /// Watchdog: asks the (presumed wedged) shard thread to abandon its loop,
+  /// waits up to `grace_us` for it to exit, then joins and respawns it.
+  /// Requests the old thread held are shed, never lost; the ingress ring
+  /// carries over to the successor. False when the thread did not exit
+  /// within the grace period (it keeps serving if it ever unsticks, and the
+  /// watchdog retries on its next sweep).
+  bool try_restart(std::uint64_t grace_us);
+
   const ShardStats& stats() const { return stats_; }
   std::size_t index() const { return index_; }
   std::size_t queue_capacity() const { return ingress_.capacity(); }
 
  private:
+  void spawn();
   void run();
   /// Adopts the newest model epoch if the server published one.
   void maybe_adopt_epoch();
+  /// Samples ingress depth: drives the admission gate (hysteresis between
+  /// the watermarks) and the Healthy <-> Degraded transitions.
+  void update_overload_state();
   /// Runs `n` queued requests as one micro-batch and completes them.
   void serve_batch(Request* batch, std::size_t n);
+  /// Completes `req` unserved with an explicit kShed response.
+  void shed_request(const Request& req, bool deadline_missed);
   /// Parks until woken by a submit, stop(), or a 200 us timeout.
   void park();
 
@@ -119,9 +162,14 @@ class ShardEngine {
   ModelEpoch current_;
   tabular::InferenceWorkspace workspace_;
   std::vector<float> staging_addr_, staging_pc_, staging_probs_;
+  bool degraded_ = false;          ///< serving the int8 twin, linger collapsed
+  std::size_t overload_streak_ = 0;  ///< consecutive depth samples >= hi
 
   ShardStats stats_;
+  std::atomic<bool> admit_{true};  ///< admission gate written by the shard loop
   std::atomic<bool> stop_{false};
+  std::atomic<bool> abandon_{false};  ///< watchdog asks the thread to exit now
+  std::atomic<bool> running_{false};  ///< thread liveness for the restart handshake
   std::atomic<bool> parked_{false};
   std::mutex park_mu_;
   std::condition_variable park_cv_;

@@ -51,6 +51,18 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   total_.fetch_add(other.total_.load(std::memory_order_relaxed), std::memory_order_relaxed);
 }
 
+const char* shard_state_name(ShardState state) {
+  switch (state) {
+    case ShardState::kHealthy:
+      return "healthy";
+    case ShardState::kDegraded:
+      return "degraded";
+    case ShardState::kStalled:
+      return "stalled";
+  }
+  return "unknown";
+}
+
 ShardStatsSnapshot snapshot(const ShardStats& stats) {
   ShardStatsSnapshot s;
   s.requests = stats.requests.load(std::memory_order_relaxed);
@@ -61,6 +73,14 @@ ShardStatsSnapshot snapshot(const ShardStats& stats) {
   s.queue_depth_max = stats.queue_depth_max.load(std::memory_order_relaxed);
   s.completion_retries = stats.completion_retries.load(std::memory_order_relaxed);
   s.reloads = stats.reloads.load(std::memory_order_relaxed);
+  s.heartbeat = stats.heartbeat.load(std::memory_order_relaxed);
+  s.shed = stats.shed.load(std::memory_order_relaxed);
+  s.deadline_missed = stats.deadline_missed.load(std::memory_order_relaxed);
+  s.admission_rejected = stats.admission_rejected.load(std::memory_order_relaxed);
+  s.watchdog_restarts = stats.watchdog_restarts.load(std::memory_order_relaxed);
+  s.degraded_entries = stats.degraded_entries.load(std::memory_order_relaxed);
+  s.degraded_exits = stats.degraded_exits.load(std::memory_order_relaxed);
+  s.state = static_cast<ShardState>(stats.state.load(std::memory_order_relaxed));
   s.p50_ns = stats.latency.quantile(0.50);
   s.p99_ns = stats.latency.quantile(0.99);
   return s;

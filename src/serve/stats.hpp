@@ -50,8 +50,22 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> total_{0};
 };
 
+/// Shard health state machine (DESIGN.md §11). The shard thread moves
+/// between Healthy and Degraded on queue-depth watermarks; the watchdog
+/// moves a shard to Stalled when its heartbeat stops and back to Healthy
+/// after a successful restart (or when the heartbeat resumes on its own).
+enum class ShardState : std::uint32_t {
+  kHealthy = 0,   ///< serving the primary epoch, normal batching
+  kDegraded = 1,  ///< sustained overload: int8 twin epoch, linger collapsed to 0
+  kStalled = 2,   ///< watchdog declared the shard thread unresponsive
+};
+
+/// Human-readable name for a ShardState ("healthy" / "degraded" / "stalled").
+const char* shard_state_name(ShardState state);
+
 /// Counters one shard maintains while serving (all relaxed atomics, written
-/// only by the owning shard thread).
+/// only by the owning shard thread, except `state` and `watchdog_restarts`
+/// which the watchdog also writes).
 struct ShardStats {
   std::atomic<std::uint64_t> requests{0};        ///< requests completed
   std::atomic<std::uint64_t> batches{0};         ///< micro-batches executed
@@ -61,6 +75,14 @@ struct ShardStats {
   std::atomic<std::uint64_t> queue_depth_max{0}; ///< peak sampled ingress depth
   std::atomic<std::uint64_t> completion_retries{0};  ///< egress-ring full events
   std::atomic<std::uint64_t> reloads{0};         ///< model epochs adopted
+  std::atomic<std::uint64_t> heartbeat{0};       ///< shard-loop liveness ticks
+  std::atomic<std::uint64_t> shed{0};            ///< requests completed as kShed
+  std::atomic<std::uint64_t> deadline_missed{0}; ///< sheds caused by expired deadlines
+  std::atomic<std::uint64_t> admission_rejected{0};  ///< submits refused above the high watermark
+  std::atomic<std::uint64_t> watchdog_restarts{0};   ///< shard-thread restarts by the watchdog
+  std::atomic<std::uint64_t> degraded_entries{0};    ///< Healthy -> Degraded transitions
+  std::atomic<std::uint64_t> degraded_exits{0};      ///< Degraded -> Healthy transitions
+  std::atomic<std::uint32_t> state{0};           ///< current ShardState
   LatencyHistogram latency;                      ///< enqueue -> completion-push
 };
 
@@ -74,6 +96,14 @@ struct ShardStatsSnapshot {
   std::uint64_t queue_depth_max = 0;
   std::uint64_t completion_retries = 0;
   std::uint64_t reloads = 0;
+  std::uint64_t heartbeat = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_missed = 0;
+  std::uint64_t admission_rejected = 0;
+  std::uint64_t watchdog_restarts = 0;
+  std::uint64_t degraded_entries = 0;
+  std::uint64_t degraded_exits = 0;
+  ShardState state = ShardState::kHealthy;
   std::uint64_t p50_ns = 0;
   std::uint64_t p99_ns = 0;
 
@@ -96,6 +126,14 @@ struct ServeStatsSummary {
   std::vector<ShardStatsSnapshot> shards;
   std::uint64_t requests = 0;      ///< sum over shards
   std::uint64_t batches = 0;       ///< sum over shards
+  std::uint64_t shed = 0;          ///< sum over shards (explicit kShed completions)
+  std::uint64_t deadline_missed = 0;   ///< sum over shards
+  std::uint64_t admission_rejected = 0;  ///< sum over shards
+  std::uint64_t watchdog_restarts = 0;   ///< sum over shards
+  std::uint64_t degraded_entries = 0;    ///< sum over shards
+  std::uint64_t degraded_exits = 0;      ///< sum over shards
+  std::uint64_t reload_rejected = 0;     ///< artifact swaps quarantined by the server
+  bool all_healthy = true;         ///< every shard currently ShardState::kHealthy
   std::uint64_t p50_ns = 0;        ///< over the merged histogram
   std::uint64_t p99_ns = 0;        ///< over the merged histogram
   double avg_batch = 0.0;          ///< occupancy mean over all batches

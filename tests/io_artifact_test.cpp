@@ -155,9 +155,59 @@ TEST(Artifact, RoundTripsFusedKernelBitExact) {
   }
 }
 
-TEST(Artifact, MissingFileIsACleanError) {
-  EXPECT_THROW(tabular::TabularPredictor::load(temp_path("dart_no_such_file.dart")),
-               io::ArtifactError);
+TEST(Artifact, MissingFileIsACleanErrorNamingThePath) {
+  const std::string path = temp_path("dart_no_such_file.dart");
+  try {
+    tabular::TabularPredictor::load(path);
+    FAIL() << "missing file not detected";
+  } catch (const io::ArtifactError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error message does not name the failing file: " << e.what();
+  }
+}
+
+// The quarantine-log contract (DESIGN.md §11): a rejected artifact's error
+// message pins the damage — file path, chunk tag, and file byte offset —
+// so an operator can tell a bad byte from a bad deploy. The corruption here
+// is checksum-consistent (the CSUM trailer is recomputed over the damaged
+// image), so only the chunk parser can object, exercising the in-chunk
+// context layering rather than the checksum fast-fail.
+TEST(Artifact, ParseErrorsCarryPathChunkTagAndByteOffset) {
+  const std::string path = temp_path("dart_artifact_context.dart");
+  tiny_predictor(pq::EncoderKind::kExact).save(path);
+  std::vector<char> bytes = slurp(path);
+
+  const char tag[4] = {'T', 'P', 'R', 'D'};
+  std::size_t tag_at = std::string::npos;
+  for (std::size_t i = 16; i + 12 < bytes.size(); ++i) {
+    if (std::memcmp(bytes.data() + i, tag, 4) == 0) {
+      tag_at = i;
+      break;
+    }
+  }
+  ASSERT_NE(tag_at, std::string::npos) << "no TPRD chunk in the saved artifact";
+  // Saturate the leading payload fields (element counts / dims): whatever
+  // they encode becomes absurd and the parser must reject it.
+  for (std::size_t i = 0; i < 8; ++i) bytes[tag_at + 12 + i] = static_cast<char>(0xFF);
+  // Recompute the trailing CSUM chunk ([tag 4][len u64 = 8][hash u64]) so
+  // the checksum passes and the parse layer is what fails.
+  ASSERT_GE(bytes.size(), 20u);
+  const std::size_t csum_tag = bytes.size() - 20;
+  ASSERT_EQ(std::memcmp(bytes.data() + csum_tag, "CSUM", 4), 0);
+  const std::uint64_t hash = io::fnv1a64(bytes.data(), csum_tag);
+  std::memcpy(bytes.data() + bytes.size() - 8, &hash, 8);
+  spit(path, bytes);
+
+  try {
+    tabular::TabularPredictor::load(path);
+    FAIL() << "corrupted TPRD payload parsed without error";
+  } catch (const io::ArtifactError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << "no file path in: " << msg;
+    EXPECT_NE(msg.find("chunk 'TPRD'"), std::string::npos) << "no chunk tag in: " << msg;
+    EXPECT_NE(msg.find("byte offset"), std::string::npos) << "no byte offset in: " << msg;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(Artifact, RejectsBadMagicAndForeignFiles) {

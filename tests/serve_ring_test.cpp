@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <thread>
 #include <vector>
@@ -175,6 +176,147 @@ TEST(MpscRing, BackpressureUnderContentionNeverDropsAcceptedItems) {
   for (auto& t : producers) t.join();
   while (ring.try_pop(out)) ++popped;  // drain the stragglers
   EXPECT_EQ(popped, accepted.load());
+}
+
+// Positions are monotonic uint64s that wrap modulo 2^64 — and the Vyukov
+// full/empty tests reinterpret position differences as signed, which is UB
+// if written as separate casts once positions straddle 2^63. Start the
+// rings just below both boundaries and lap them: FIFO order, full
+// rejection, and size_approx must all survive the wrap.
+TEST(SpscRing, SurvivesPositionWraparoundNearIndexTypeOverflow) {
+  for (const std::uint64_t start : {std::numeric_limits<std::uint64_t>::max() - 5,
+                                    (std::uint64_t{1} << 63) - 5, std::uint64_t{0}}) {
+    SpscRing<std::uint64_t> ring(8, start);
+    std::uint64_t next_push = 0, next_pop = 0, out = 0;
+    for (int round = 0; round < 16; ++round) {  // 16 laps cross either boundary
+      while (ring.try_push(next_push)) ++next_push;
+      ASSERT_EQ(ring.size_approx(), 8u) << "start " << start;
+      ASSERT_FALSE(ring.try_push(next_push));
+      while (ring.try_pop(out)) {
+        ASSERT_EQ(out, next_pop) << "start " << start;
+        ++next_pop;
+      }
+    }
+    EXPECT_EQ(next_pop, next_push);
+    EXPECT_EQ(ring.size_approx(), 0u);
+  }
+}
+
+TEST(MpscRing, SurvivesPositionWraparoundNearIndexTypeOverflow) {
+  for (const std::uint64_t start : {std::numeric_limits<std::uint64_t>::max() - 5,
+                                    (std::uint64_t{1} << 63) - 5, std::uint64_t{0}}) {
+    MpscRing<std::uint64_t> ring(8, start);
+    std::uint64_t next_push = 0, next_pop = 0, out = 0;
+    for (int round = 0; round < 16; ++round) {
+      while (ring.try_push(next_push)) ++next_push;
+      ASSERT_EQ(ring.size_approx(), 8u) << "start " << start;
+      ASSERT_FALSE(ring.try_push(next_push));
+      // Pop only half before refilling so head and tail sit on opposite
+      // sides of the boundary for a while instead of crossing in lockstep.
+      for (int half = 0; half < 4; ++half) {
+        ASSERT_TRUE(ring.try_pop(out));
+        ASSERT_EQ(out, next_pop) << "start " << start;
+        ++next_pop;
+      }
+      while (ring.try_pop(out)) {
+        ASSERT_EQ(out, next_pop) << "start " << start;
+        ++next_pop;
+      }
+    }
+    EXPECT_EQ(next_pop, next_push);
+    EXPECT_EQ(ring.size_approx(), 0u);
+  }
+}
+
+TEST(MpscRing, ConcurrentProducersAcrossThe2To63Boundary) {
+  // The signed-difference trick must hold under real contention while
+  // positions cross 2^63 (where `int64(seq) - int64(pos)` would overflow).
+  constexpr std::uint64_t kPerProducer = 2000;
+  constexpr std::uint64_t kProducers = 4;
+  MpscRing<std::uint64_t> ring(16, (std::uint64_t{1} << 63) - 64);
+  std::vector<std::thread> producers;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        while (!ring.try_push((p << 32) | i)) std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::uint64_t> next_from(kProducers, 0);
+  std::uint64_t received = 0, out = 0;
+  while (received < kProducers * kPerProducer) {
+    if (!ring.try_pop(out)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const std::uint64_t p = out >> 32, i = out & 0xffffffffu;
+    ASSERT_LT(p, kProducers);
+    ASSERT_EQ(i, next_from[p]) << "producer " << p << " reordered across the boundary";
+    ++next_from[p];
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+/// Gate for GatedItem: while closed, copying a gated item blocks. Lets a
+/// test freeze a producer inside the claim-then-publish window.
+std::atomic<bool> g_copy_gate_closed{false};
+
+struct GatedItem {
+  std::uint64_t value = 0;
+  bool gated = false;
+
+  GatedItem() = default;
+  GatedItem(std::uint64_t v, bool g) : value(v), gated(g) {}
+  GatedItem(const GatedItem& o) { *this = o; }
+  GatedItem& operator=(const GatedItem& o) {
+    if (o.gated) {
+      while (g_copy_gate_closed.load(std::memory_order_acquire)) std::this_thread::yield();
+    }
+    value = o.value;
+    gated = o.gated;
+    return *this;
+  }
+};
+
+TEST(MpscRing, ProducerStalledMidPushBlocksConsumptionButLosesNothing) {
+  // A Vyukov producer claims its position with a CAS, then copies the
+  // payload, then publishes the slot sequence. A producer abandoned (or
+  // descheduled indefinitely) between claim and publish must make the
+  // consumer see an *empty* ring — positions behind the head are never
+  // skipped — and later producers' items must still be accepted and pop in
+  // position order once the stuck slot publishes. This is the ring-level
+  // guarantee the shard watchdog's restart containment builds on.
+  MpscRing<GatedItem> ring(8);
+  g_copy_gate_closed.store(true, std::memory_order_release);
+
+  std::thread stuck([&] { ring.try_push(GatedItem{100, true}); });
+  // The claim (tail CAS) lands even though the publish is gated.
+  while (ring.size_approx() < 1) std::this_thread::yield();
+
+  // Later producers fill every remaining slot...
+  for (std::uint64_t i = 1; i <= 7; ++i) {
+    ASSERT_TRUE(ring.try_push(GatedItem{i, false}));
+  }
+  // ...the ring is now full (the stuck slot counts), so pushes reject...
+  EXPECT_FALSE(ring.try_push(GatedItem{999, false}));
+  // ...and the consumer cannot pop anything: the head position is claimed
+  // but unpublished, and FIFO forbids skipping it.
+  GatedItem out;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_FALSE(ring.try_pop(out)) << "popped past an unpublished slot";
+  }
+
+  g_copy_gate_closed.store(false, std::memory_order_release);
+  stuck.join();
+  std::vector<std::uint64_t> order;
+  while (order.size() < 8) {
+    if (ring.try_pop(out)) order.push_back(out.value);
+  }
+  const std::vector<std::uint64_t> expect{100, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(order, expect);
+  EXPECT_FALSE(ring.try_pop(out));
 }
 
 TEST(IdGenerator, NonzeroAndUniqueWithinAThread) {

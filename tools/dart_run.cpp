@@ -27,6 +27,8 @@
 // `--shards`/`--batch-cap`/`--linger-us` the serve engine, overriding
 // the corresponding DART_SERVE_* environment knobs. DART_QUANT=int16|int8
 // serves the artifact's linear tables quantized (DESIGN.md §10).
+// DART_FAULT=<spec> arms the deterministic fault injector for the serve
+// run (DESIGN.md §11), e.g. DART_FAULT="slow-shard:shard=0,us=2000".
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -40,6 +42,7 @@
 #include "core/pipeline.hpp"
 #include "io/artifact.hpp"
 #include "prefetch/nn_prefetchers.hpp"
+#include "serve/fault.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
 #include "sim/simulator.hpp"
@@ -163,8 +166,18 @@ int run_serve(trace::App app, const io::ArtifactInfo& info,
   load.prep = info.meta.prep;
   load.apps = {app};
 
+  // DART_FAULT arms the deterministic fault injector (serve/fault.hpp) for
+  // this serve run — the operator-facing way to rehearse overload and
+  // reload failures against a real artifact.
+  const std::string fault_spec = common::env_string("DART_FAULT", "");
+  if (!fault_spec.empty()) {
+    serve::fault_injector().install(fault_spec);
+    std::printf("faults     : %s\n", fault_spec.c_str());
+  }
+
   serve::PrefetchServer server(std::move(predictor), config);
   const serve::LoadReport report = serve::run_client_load(server, load);
+  if (!fault_spec.empty()) serve::fault_injector().clear();
 
   std::printf("serve      : %zu streams x %zu requests on %s over %zu shard(s)\n",
               report.streams, load.requests_per_stream, trace::app_name(app).c_str(),
@@ -172,22 +185,33 @@ int run_serve(trace::App app, const io::ArtifactInfo& info,
   std::printf("  throughput %.0f predictions/sec, p50 %.1f us, p99 %.1f us\n",
               report.predictions_per_sec, report.server.p50_ns / 1000.0,
               report.server.p99_ns / 1000.0);
-  std::printf("  %llu completed / %llu submitted, %llu backpressure rejects, "
+  std::printf("  %llu completed + %llu shed / %llu submitted, %llu backpressure rejects, "
               "%llu id mismatches\n",
               static_cast<unsigned long long>(report.completed),
+              static_cast<unsigned long long>(report.shed),
               static_cast<unsigned long long>(report.submitted),
               static_cast<unsigned long long>(report.rejected),
               static_cast<unsigned long long>(report.id_mismatches));
   std::printf("  %.1f avg batch occupancy over %llu micro-batches\n", report.server.avg_batch,
               static_cast<unsigned long long>(report.server.batches));
+  if (report.server.deadline_missed != 0 || report.server.watchdog_restarts != 0 ||
+      report.server.reload_rejected != 0 || report.server.admission_rejected != 0) {
+    std::printf("  robustness: %llu deadline misses, %llu admission rejects, "
+                "%llu watchdog restarts, %llu reloads rejected\n",
+                static_cast<unsigned long long>(report.server.deadline_missed),
+                static_cast<unsigned long long>(report.server.admission_rejected),
+                static_cast<unsigned long long>(report.server.watchdog_restarts),
+                static_cast<unsigned long long>(report.server.reload_rejected));
+  }
   for (std::size_t i = 0; i < report.server.shards.size(); ++i) {
     const serve::ShardStatsSnapshot& s = report.server.shards[i];
-    std::printf("  shard %zu: %llu requests, %llu batches, max queue depth %llu\n", i,
+    std::printf("  shard %zu: %llu requests, %llu batches, max queue depth %llu, %s\n", i,
                 static_cast<unsigned long long>(s.requests),
                 static_cast<unsigned long long>(s.batches),
-                static_cast<unsigned long long>(s.queue_depth_max));
+                static_cast<unsigned long long>(s.queue_depth_max),
+                serve::shard_state_name(s.state));
   }
-  if (report.completed != report.submitted || report.id_mismatches != 0) {
+  if (report.completed + report.shed != report.submitted || report.id_mismatches != 0) {
     std::fprintf(stderr, "serve: lost or mis-routed responses\n");
     return 1;
   }
