@@ -2,8 +2,10 @@
 // trajectory, next to bench_batch_inference): accesses/sec through
 // sim::Simulator::run on the Table IX sweep configuration — every app of
 // Table IV replayed against the rule-based prefetcher set (baseline, stride,
-// BO, ISB). Every ExperimentRunner cell pays exactly this loop, so sweep
-// wall-clock scales with this number.
+// BO, ISB), plus one zipfian and one YCSB-B synthetic-workload series from
+// the deterministic workload engine (trace/workloads.hpp). Every
+// ExperimentRunner cell pays exactly this loop, so sweep wall-clock scales
+// with this number.
 //
 // Output: the usual table + CSV mirror, plus a JSON snapshot:
 //
@@ -18,6 +20,11 @@
 // catch semantic regressions; the *_per_sec fields are host-dependent and
 // ignored by the diff (tools/diff_sim_counters.py).
 //
+// Synthetic series are named "zipfian/<prefetcher>" and
+// "ycsb-b/<prefetcher>" in the table and JSON; their counters are pinned
+// by the same CI diff, so the workload engine's streams are regression-
+// checked here end to end (generator -> simulator).
+//
 // Knobs: DART_SIM_INSTR (accesses per app trace, default 400000),
 // DART_APPS, DART_BENCH_REPS (best-of-R, default 3), --json <path>.
 #include <cstdio>
@@ -28,6 +35,7 @@
 
 #include "bench_common.hpp"
 #include "sim/registry.hpp"
+#include "trace/workloads.hpp"
 #include "sim/simulator.hpp"
 
 using namespace dart;
@@ -72,13 +80,27 @@ int main(int argc, char** argv) {
   // model training/inference, which is what this bench tracks.
   const char* specs[] = {"baseline", "stride", "bo", "isb"};
 
-  // Traces are generated outside the timer, with a fixed seed so the
+  // Trace series: the Table IV app pool (summed, as before), plus one
+  // zipfian and one YCSB-B synthetic workload from the workload engine.
+  // All traces are generated outside the timer, with a fixed seed so the
   // counters in the JSON are reproducible on any host.
-  std::vector<trace::MemoryTrace> traces;
+  struct Series {
+    std::string prefix;  ///< "" for the app pool, "zipfian/" etc. otherwise
+    std::vector<trace::MemoryTrace> traces;
+    std::size_t accesses = 0;
+  };
+  std::vector<Series> series(3);
+  for (trace::App app : apps) series[0].traces.push_back(trace::generate(app, n, 1));
+  series[1].prefix = "zipfian/";
+  series[1].traces.push_back(
+      trace::Workload::parse("trace:zipfian,footprint=64M,theta=0.99").generate(n, 1));
+  series[2].prefix = "ycsb-b/";
+  series[2].traces.push_back(
+      trace::Workload::parse("trace:ycsb-b,footprint=64M").generate(n, 1));
   std::size_t total_accesses = 0;
-  for (trace::App app : apps) {
-    traces.push_back(trace::generate(app, n, 1));
-    total_accesses += traces.back().size();
+  for (Series& sr : series) {
+    for (const auto& trace : sr.traces) sr.accesses += trace.size();
+    total_accesses += sr.accesses;
   }
 
   common::TablePrinter t("Simulator replay throughput (accesses/sec)");
@@ -86,31 +108,33 @@ int main(int argc, char** argv) {
   std::vector<ConfigResult> results;
   sim::Simulator simulator(cfg);
 
-  for (const char* spec : specs) {
-    ConfigResult r;
-    r.name = spec;
-    // Warm-up + counter capture (identical across reps: the simulator is
-    // deterministic), then best-of-R for the timing.
-    for (int rep = -1; rep < reps; ++rep) {
-      sim::SimStats totals;
-      common::Stopwatch watch;
-      for (const auto& trace : traces) {
-        // Fresh prefetcher per app, like an ExperimentRunner cell.
-        std::unique_ptr<sim::Prefetcher> pf;
-        if (std::strcmp(spec, "baseline") != 0) pf = sim::make_prefetcher(spec);
-        accumulate(totals, simulator.run(trace, pf.get()));
+  for (const Series& sr : series) {
+    for (const char* spec : specs) {
+      ConfigResult r;
+      r.name = sr.prefix + spec;
+      // Warm-up + counter capture (identical across reps: the simulator is
+      // deterministic), then best-of-R for the timing.
+      for (int rep = -1; rep < reps; ++rep) {
+        sim::SimStats totals;
+        common::Stopwatch watch;
+        for (const auto& trace : sr.traces) {
+          // Fresh prefetcher per app, like an ExperimentRunner cell.
+          std::unique_ptr<sim::Prefetcher> pf;
+          if (std::strcmp(spec, "baseline") != 0) pf = sim::make_prefetcher(spec);
+          accumulate(totals, simulator.run(trace, pf.get()));
+        }
+        const double aps = static_cast<double>(sr.accesses) / watch.elapsed_s();
+        if (rep < 0) {
+          r.totals = totals;
+        } else {
+          r.accesses_per_sec = std::max(r.accesses_per_sec, aps);
+        }
       }
-      const double aps = static_cast<double>(total_accesses) / watch.elapsed_s();
-      if (rep < 0) {
-        r.totals = totals;
-      } else {
-        r.accesses_per_sec = std::max(r.accesses_per_sec, aps);
-      }
+      results.push_back(r);
+      t.add_row({r.name, common::TablePrinter::fmt(r.accesses_per_sec, 0),
+                 common::TablePrinter::fmt(r.accesses_per_sec / 1e6, 2),
+                 common::TablePrinter::fmt(r.totals.ipc(), 3)});
     }
-    results.push_back(r);
-    t.add_row({r.name, common::TablePrinter::fmt(r.accesses_per_sec, 0),
-               common::TablePrinter::fmt(r.accesses_per_sec / 1e6, 2),
-               common::TablePrinter::fmt(r.totals.ipc(), 3)});
   }
   bench::emit(t, "bench_sim_throughput.csv");
 

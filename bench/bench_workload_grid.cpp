@@ -1,0 +1,79 @@
+// Table IX experiment grid over the synthetic workload corpus (DESIGN.md
+// §12): the same ExperimentRunner sweep that produces Figs. 12-14 for the
+// Table IV apps, re-pointed at the YCSB-grade workload families from
+// trace/workloads.hpp. Closes the loop on the deterministic workload
+// engine — the corpus feeds training, simulation and the accuracy /
+// coverage / IPC metrics end to end.
+//
+// Output: one per-(workload, prefetcher) results table + CSV
+// (table9_workloads.csv, ExperimentResult::write_csv schema). The repo
+// versions a reference run at results/table9_workloads.csv; CI regenerates
+// the CSV at smoke scale and uploads it as an artifact.
+//
+// Knobs: DART_WORKLOADS overrides the default corpus (';'-separated
+// specs), DART_PREFETCHERS the prefetcher set (default keeps the sweep
+// tractable: rule-based baselines + the tabular DART variants; the NN
+// baselines train per workload and dominate wall-clock), and the usual
+// DART_EPOCHS / DART_TRAIN_SAMPLES / DART_SIM_INSTR scale levers.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "prefetch_sweep.hpp"
+
+using namespace dart;
+
+int main(int argc, char** argv) {
+  std::string csv_path = "table9_workloads.csv";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) csv_path = argv[++i];
+  }
+
+  core::ExperimentSpec spec = core::ExperimentSpec::bench_defaults();
+  spec.apps.clear();  // synthetic corpus only; DART_APPS does not apply here
+  if (spec.workloads.empty()) {
+    spec.workloads = {
+        "trace:zipfian,footprint=64M,theta=0.99",
+        "trace:scrambled-zipfian,footprint=64M,theta=0.99",
+        "trace:latest,footprint=64M,theta=0.99",
+        "trace:exponential,footprint=64M",
+        "trace:uniform,footprint=64M",
+        "trace:sequential,footprint=64M,stride=4",
+        "trace:ycsb-a,footprint=64M",
+        "trace:ycsb-b,footprint=64M",
+    };
+  }
+  if (common::env_string("DART_PREFETCHERS", "").empty()) {
+    spec.prefetchers = {"BO", "ISB", "DART-S", "DART"};
+  }
+
+  std::printf("running workload-corpus grid (%zu workloads x %zu prefetchers)...\n",
+              spec.workloads.size(), spec.prefetchers.size());
+  common::Stopwatch watch;
+  core::ExperimentResult result = core::ExperimentRunner(spec).run();
+  std::printf("grid done in %.1f s\n", watch.elapsed_s());
+
+  bench::print_metric_table(result, "accuracy", "Prefetch accuracy over the workload corpus",
+                            "workload_grid_accuracy.csv");
+  bench::print_metric_table(result, "coverage", "Prefetch coverage over the workload corpus",
+                            "workload_grid_coverage.csv");
+  bench::print_metric_table(result, "ipc", "IPC improvement over the workload corpus",
+                            "workload_grid_ipc.csv");
+
+  std::string tag = "#tag corpus instr=" + std::to_string(spec.pipeline.raw_accesses) +
+                    " samples=" + std::to_string(spec.pipeline.prep.max_samples) +
+                    " epochs=" + std::to_string(spec.pipeline.teacher_train.epochs) +
+                    " workloads=";
+  for (const auto& w : spec.workloads) tag += w + ";";
+  tag += " pfs=";
+  for (const auto& p : spec.prefetchers) tag += p + ";";
+  if (!result.write_csv(csv_path, tag)) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  std::printf("[csv] %s\n", csv_path.c_str());
+  return 0;
+}

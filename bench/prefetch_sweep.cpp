@@ -21,6 +21,10 @@ std::string current_tag(const core::ExperimentSpec& spec) {
   for (trace::App a : spec.apps.empty() ? trace::all_apps() : spec.apps) {
     os << trace::app_name(a) << ';';
   }
+  // DART_WORKLOADS extends the grid; a cache keyed without them would be
+  // silently reused across different corpora.
+  os << " workloads=";
+  for (const auto& w : spec.workloads) os << w << ';';
   os << " pfs=";
   for (const auto& p : spec.prefetchers) os << p << ';';
   return os.str();

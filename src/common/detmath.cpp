@@ -1,0 +1,112 @@
+#include "common/detmath.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace dart::common::det {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453094172321214581766;  // ln 2
+constexpr double kInvLn2 = 1.4426950408889634073599246810018921;  // 1/ln 2
+
+inline std::uint64_t bits_of(double x) {
+  std::uint64_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+inline double double_of(std::uint64_t b) {
+  double x;
+  std::memcpy(&x, &b, sizeof(x));
+  return x;
+}
+
+/// log2 of the reduced mantissa m in [sqrt(2)/2, sqrt(2)): atanh series
+/// log(m) = 2z * (1 + z^2/3 + z^4/5 + ...) with z = (m-1)/(m+1), |z| <=
+/// 0.1716, so 8 odd terms reach ~1e-16. Every step is an explicit fma.
+inline double log2_mantissa(double m) {
+  const double z = (m - 1.0) / (m + 1.0);
+  const double z2 = z * z;
+  // Horner over the odd-term series 1 + z2/3 + z2^2/5 + ... + z2^7/15.
+  double p = 1.0 / 15.0;
+  p = std::fma(p, z2, 1.0 / 13.0);
+  p = std::fma(p, z2, 1.0 / 11.0);
+  p = std::fma(p, z2, 1.0 / 9.0);
+  p = std::fma(p, z2, 1.0 / 7.0);
+  p = std::fma(p, z2, 1.0 / 5.0);
+  p = std::fma(p, z2, 1.0 / 3.0);
+  p = std::fma(p, z2, 1.0);
+  return (2.0 * z * p) * kInvLn2;
+}
+
+}  // namespace
+
+double log2(double x) {
+  if (std::isnan(x) || x < 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (x == 0.0) return -std::numeric_limits<double>::infinity();
+  if (std::isinf(x)) return x;
+  std::uint64_t b = bits_of(x);
+  int e = 0;
+  if (b < (1ULL << 52)) {  // subnormal: renormalize through a pinned scale
+    x = x * 0x1.0p64;
+    b = bits_of(x);
+    e = -64;
+  }
+  e += static_cast<int>((b >> 52) & 0x7ff) - 1023;
+  // Mantissa in [1, 2); fold into [sqrt(2)/2, sqrt(2)) so z stays small.
+  double m = double_of((b & 0x000fffffffffffffULL) | 0x3ff0000000000000ULL);
+  if (m > 1.4142135623730951) {
+    m *= 0.5;
+    e += 1;
+  }
+  return static_cast<double>(e) + log2_mantissa(m);
+}
+
+double log(double x) { return log2(x) * kLn2; }
+
+double exp2(double x) {
+  if (std::isnan(x)) return x;
+  if (x >= 1024.0) return std::numeric_limits<double>::infinity();
+  if (x <= -1075.0) return 0.0;
+  // n = nearest integer (round-half-away, pinned by floor of x + 0.5).
+  const double nf = std::floor(x + 0.5);
+  const int n = static_cast<int>(nf);
+  const double f = x - nf;  // f in [-0.5, 0.5]
+  const double t = f * kLn2;  // |t| <= 0.347
+  // e^t by a 13-term Taylor Horner: error < 1e-17 at |t| <= 0.35.
+  double p = 1.0 / 6227020800.0;  // 1/13!
+  p = std::fma(p, t, 1.0 / 479001600.0);
+  p = std::fma(p, t, 1.0 / 39916800.0);
+  p = std::fma(p, t, 1.0 / 3628800.0);
+  p = std::fma(p, t, 1.0 / 362880.0);
+  p = std::fma(p, t, 1.0 / 40320.0);
+  p = std::fma(p, t, 1.0 / 5040.0);
+  p = std::fma(p, t, 1.0 / 720.0);
+  p = std::fma(p, t, 1.0 / 120.0);
+  p = std::fma(p, t, 1.0 / 24.0);
+  p = std::fma(p, t, 1.0 / 6.0);
+  p = std::fma(p, t, 0.5);
+  p = std::fma(p, t, 1.0);
+  p = std::fma(p, t, 1.0);
+  // Scale by 2^n via exponent arithmetic; split the step for |n| near the
+  // subnormal range so the intermediate stays normal.
+  if (n >= -1021 && n <= 1023) {
+    return p * double_of(static_cast<std::uint64_t>(1023 + n) << 52);
+  }
+  const int half = n / 2;
+  return (p * double_of(static_cast<std::uint64_t>(1023 + half) << 52)) *
+         double_of(static_cast<std::uint64_t>(1023 + (n - half)) << 52);
+}
+
+double exp(double x) { return exp2(x * kInvLn2); }
+
+double pow(double x, double y) {
+  if (y == 0.0) return 1.0;
+  if (x == 0.0) return y > 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return exp2(y * log2(x));
+}
+
+}  // namespace dart::common::det

@@ -1,0 +1,41 @@
+// Deterministic elementary math for the sampler layer (DESIGN.md §12).
+//
+// The workload samplers (zipfian, latest, exponential, gaussian) need log /
+// pow / exp. libm gives no cross-platform bit-reproducibility guarantee for
+// those (glibc, musl and LLVM libm all round differently in the last ulp),
+// which would make every FP-dependent trace hash platform-specific. These
+// replacements are built only from IEEE-754 primitives that ARE exactly
+// specified — +, -, *, /, sqrt, fma and bit manipulation — evaluated in a
+// pinned order, so the result is bit-identical on every IEEE double
+// platform and standard library. Accuracy is ~1 ulp-ish (< 1e-14 relative),
+// far beyond what workload sampling needs; determinism, not last-ulp
+// correctness, is the contract.
+//
+// Every polynomial step uses std::fma explicitly: a fused multiply-add is a
+// single correctly-rounded IEEE operation, which both pins the evaluation
+// order and makes the compiler's -ffp-contract setting irrelevant.
+#pragma once
+
+namespace dart::common::det {
+
+/// Natural log of `x`. Pinned argument reduction (frexp-style exponent
+/// extraction, atanh-series mantissa polynomial). Domain: x > 0 and finite;
+/// returns -inf for x == 0 and NaN for x < 0 / NaN, like std::log.
+double log(double x);
+
+/// Base-2 logarithm, same contract as det::log.
+double log2(double x);
+
+/// 2^x by pinned round-to-int reduction plus an fma Taylor polynomial.
+/// Overflows to inf / underflows to 0 exactly like std::exp2 would.
+double exp2(double x);
+
+/// e^x = exp2(x * log2(e)), pinned.
+double exp(double x);
+
+/// x^y = exp2(y * log2(x)) for x > 0; pinned. x == 0 returns 0 for y > 0
+/// and inf for y < 0; any x^0 is 1. Negative bases return NaN (the samplers
+/// never need them).
+double pow(double x, double y);
+
+}  // namespace dart::common::det

@@ -1,0 +1,84 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dart::common {
+
+double Rng::normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return std::fma(spare_normal_, stddev, mean);
+  }
+  // Marsaglia polar: draw (u, v) uniform on (-1, 1)^2 until inside the unit
+  // disk, then scale by sqrt(-2 ln s / s). sqrt is IEEE-exact and det::log
+  // is pinned, so the stream is bit-stable.
+  double u, v, s;
+  do {
+    u = std::fma(to_unit_double(next_u64()), 2.0, -1.0);
+    v = std::fma(to_unit_double(next_u64()), 2.0, -1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double scale = std::sqrt(-2.0 * det::log(s) / s);
+  spare_normal_ = v * scale;
+  has_spare_normal_ = true;
+  return std::fma(u * scale, stddev, mean);
+}
+
+namespace {
+
+/// Generalized harmonic number zeta(n, theta) = sum_{i=1..n} 1/i^theta.
+/// Summed exactly (in pinned order, lowest term first) up to kExactZetaN
+/// items; beyond that the tail is the analytic integral
+/// (n^(1-theta) - k^(1-theta)) / (1-theta), which is accurate to < 0.1% for
+/// the footprints we care about and — critically — pinned: both branches
+/// use only det:: math, so zetan is bit-identical everywhere.
+constexpr std::uint64_t kExactZetaN = 1ULL << 18;
+
+double zeta(std::uint64_t n, double theta) {
+  const std::uint64_t exact_n = n < kExactZetaN ? n : kExactZetaN;
+  double sum = 0.0;
+  // Smallest terms first so the accumulation order is both pinned and
+  // numerically tame.
+  for (std::uint64_t i = exact_n; i >= 1; --i) {
+    sum += det::pow(static_cast<double>(i), -theta);
+  }
+  if (n > exact_n) {
+    const double one_minus = 1.0 - theta;
+    sum += (det::pow(static_cast<double>(n), one_minus) -
+            det::pow(static_cast<double>(exact_n), one_minus)) /
+           one_minus;
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianSampler::ZipfianSampler(std::uint64_t items, double theta)
+    : items_(items), theta_(theta) {
+  if (items == 0) throw std::invalid_argument("ZipfianSampler: items must be > 0");
+  if (theta <= 0.0 || theta >= 1.0) {
+    throw std::invalid_argument("ZipfianSampler: theta must be in (0, 1)");
+  }
+  zetan_ = zeta(items, theta);
+  const double zeta2 = zeta(2 < items ? 2 : items, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - det::pow(2.0 / static_cast<double>(items), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t ZipfianSampler::next(Rng& rng) const {
+  // Gray et al. "Quickly generating billion-record synthetic databases"
+  // (the YCSB generator): invert an approximate CDF with two exact special
+  // cases for the two hottest ranks.
+  const double u = to_unit_double(rng.next_u64());
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + det::pow(0.5, theta_)) return 1;
+  const double frac = det::pow(std::fma(eta_, u, 1.0 - eta_), alpha_);
+  std::uint64_t rank = static_cast<std::uint64_t>(static_cast<double>(items_) * frac);
+  if (rank >= items_) rank = items_ - 1;
+  return rank;
+}
+
+}  // namespace dart::common

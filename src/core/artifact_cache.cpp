@@ -47,10 +47,10 @@ std::string normalize_dart_variant(const std::string& variant) {
   return v;
 }
 
-std::string dart_config_key(trace::App app, const PipelineOptions& options,
+std::string dart_config_key(const trace::Workload& workload, const PipelineOptions& options,
                             const sim::DartModelRequest& request) {
   std::ostringstream key;
-  key << pipeline_cache_key(app, options) << '/' << normalize_dart_variant(request.variant)
+  key << pipeline_cache_key(workload, options) << '/' << normalize_dart_variant(request.variant)
       << '/' << request.table_k << '/' << request.table_c;
   const std::string text = key.str();
   std::ostringstream hex;
@@ -61,15 +61,14 @@ std::string dart_config_key(trace::App app, const PipelineOptions& options,
   return hex.str();
 }
 
-std::string dart_artifact_path(const std::string& dir, trace::App app,
+std::string dart_artifact_path(const std::string& dir, const trace::Workload& workload,
                                const PipelineOptions& options,
                                const sim::DartModelRequest& request) {
   std::ostringstream path;
-  path << dir << '/' << trace::app_name(app) << "-dart-"
-       << normalize_dart_variant(request.variant);
+  path << dir << '/' << workload.name() << "-dart-" << normalize_dart_variant(request.variant);
   if (request.table_k != 0) path << "-k" << request.table_k;
   if (request.table_c != 0) path << "-c" << request.table_c;
-  path << '-' << dart_config_key(app, options, request) << ".dart";
+  path << '-' << dart_config_key(workload, options, request) << ".dart";
   return path.str();
 }
 
@@ -90,7 +89,7 @@ TrainedDart train_dart(Pipeline& pipe, const sim::DartModelRequest& request) {
   } else {
     PipelineOptions po = popts;
     po.student_arch = v.arch;
-    Pipeline variant_pipe(pipe.app(), po);
+    Pipeline variant_pipe(pipe.workload(), po);
     // Share the prepared data by re-preparing (deterministic: same seed).
     variant_pipe.prepare();
     nn::AddressPredictor& teacher = pipe.teacher();
@@ -103,7 +102,7 @@ TrainedDart train_dart(Pipeline& pipe, const sim::DartModelRequest& request) {
   out.prep = popts.prep;
   out.display_name = v.name;
   out.latency_cycles = tabular::tabular_model_cost(v.arch, v.tables).latency_cycles;
-  out.config_key = dart_config_key(pipe.app(), popts, request);
+  out.config_key = dart_config_key(pipe.workload(), popts, request);
   return out;
 }
 
@@ -167,14 +166,14 @@ sim::DartModel load_dart_artifact_bytes(std::vector<std::uint8_t> bytes, const s
                           local, info, quant);
 }
 
-bool save_dart_artifact(const std::string& path, trace::App app, const TrainedDart& model,
-                        const std::string& producer) {
+bool save_dart_artifact(const std::string& path, const trace::Workload& workload,
+                        const TrainedDart& model, const std::string& producer) {
   try {
     std::error_code ec;
     std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
     io::ArtifactMeta meta;
     meta.producer = producer;
-    meta.app = trace::app_name(app);
+    meta.app = workload.spec();
     meta.display_name = model.display_name;
     meta.config_key = model.config_key;
     meta.latency_cycles = model.latency_cycles;

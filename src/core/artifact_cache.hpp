@@ -36,13 +36,14 @@ struct TrainedDart {
 std::string normalize_dart_variant(const std::string& variant);
 
 /// Cache key covering the full producing configuration of `request` for
-/// `app` under `options`: the pipeline_cache_key plus the variant and any
-/// table overrides. 16 hex digits.
-std::string dart_config_key(trace::App app, const PipelineOptions& options,
+/// `workload` under `options`: the pipeline_cache_key plus the variant and
+/// any table overrides. 16 hex digits. (trace::App converts implicitly.)
+std::string dart_config_key(const trace::Workload& workload, const PipelineOptions& options,
                             const sim::DartModelRequest& request);
 
-/// Artifact file path `<dir>/<app>-dart-<variant>[-kK-cC]-<key>.dart`.
-std::string dart_artifact_path(const std::string& dir, trace::App app,
+/// Artifact file path `<dir>/<workload>-dart-<variant>[-kK-cC]-<key>.dart`
+/// (workload display names are filesystem-safe by construction).
+std::string dart_artifact_path(const std::string& dir, const trace::Workload& workload,
                                const PipelineOptions& options,
                                const sim::DartModelRequest& request);
 
@@ -88,7 +89,7 @@ sim::DartModel load_dart_artifact_bytes(std::vector<std::uint8_t> bytes, const s
 /// Persists a trained model at `path` (creating parent directories).
 /// Best-effort: returns false and warns on I/O failure — a read-only cache
 /// directory must never fail the producing run.
-bool save_dart_artifact(const std::string& path, trace::App app, const TrainedDart& model,
-                        const std::string& producer);
+bool save_dart_artifact(const std::string& path, const trace::Workload& workload,
+                        const TrainedDart& model, const std::string& producer);
 
 }  // namespace dart::core

@@ -27,10 +27,10 @@ namespace {
 /// lazy training and the DART-model cache across this app's cells; cells of
 /// different apps never contend.
 struct AppState {
-  explicit AppState(trace::App a, const PipelineOptions& options)
-      : app(a), pipe(a, options) {}
+  explicit AppState(trace::Workload w, const PipelineOptions& options)
+      : workload(std::move(w)), pipe(workload, options) {}
 
-  trace::App app;
+  trace::Workload workload;
   Pipeline pipe;
   std::mutex mu;
   sim::PrefetcherContext ctx;
@@ -69,14 +69,14 @@ void build_context(AppState& state, const ExperimentSpec& spec) {
 
     std::string path;
     if (!popts.artifact_dir.empty()) {
-      path = dart_artifact_path(popts.artifact_dir, s->app, popts, request);
-      if (auto loaded = try_load_dart_artifact(path, dart_config_key(s->app, popts, request),
-                                               request.quant)) {
+      path = dart_artifact_path(popts.artifact_dir, s->workload, popts, request);
+      if (auto loaded = try_load_dart_artifact(
+              path, dart_config_key(s->workload, popts, request), request.quant)) {
         return s->dart_cache.emplace(key.str(), std::move(*loaded)).first->second;
       }
     }
     TrainedDart trained = train_dart(s->pipe, request);
-    if (!path.empty()) save_dart_artifact(path, s->app, trained, "experiment_runner");
+    if (!path.empty()) save_dart_artifact(path, s->workload, trained, "experiment_runner");
     trained.predictor.set_quant_mode(request.quant);
     sim::DartModel model;
     model.latency_cycles = trained.latency_cycles;
@@ -157,6 +157,13 @@ ExperimentSpec ExperimentSpec::bench_defaults() {
   ExperimentSpec spec;
   for (const auto& name : common::env_list("DART_APPS")) {
     spec.apps.push_back(trace::app_from_name(name));
+  }
+  const std::string wls = common::env_string("DART_WORKLOADS", "");
+  if (!wls.empty()) {
+    // Validate up front (fail fast on typos) but carry the spec strings.
+    for (const trace::Workload& w : trace::parse_workload_list(wls)) {
+      spec.workloads.push_back(w.spec());
+    }
   }
   const std::string pfs = common::env_string("DART_PREFETCHERS", "");
   if (!pfs.empty()) spec.prefetchers = sim::split_spec_list(pfs);
@@ -317,16 +324,24 @@ bool ExperimentResult::write_json(const std::string& path) const {
 ExperimentRunner::ExperimentRunner(ExperimentSpec spec) : spec_(std::move(spec)) {}
 
 ExperimentResult ExperimentRunner::run() {
-  const std::vector<trace::App> apps = spec_.apps.empty() ? trace::all_apps() : spec_.apps;
+  // The grid's rows: legacy apps first, then parsed workload specs; all
+  // eight Table IV apps when neither list names anything.
+  std::vector<trace::Workload> workloads(spec_.apps.begin(), spec_.apps.end());
+  for (const std::string& spec_text : spec_.workloads) {
+    workloads.push_back(trace::Workload::parse(spec_text));
+  }
+  if (workloads.empty()) {
+    workloads.assign(trace::all_apps().begin(), trace::all_apps().end());
+  }
   // Fail fast on unknown prefetcher names, before any training starts.
   for (const auto& spec_text : spec_.prefetchers) {
     sim::PrefetcherRegistry::instance().validate(spec_text);
   }
 
   std::vector<std::unique_ptr<AppState>> states;
-  states.reserve(apps.size());
-  for (trace::App app : apps) {
-    states.push_back(std::make_unique<AppState>(app, spec_.pipeline));
+  states.reserve(workloads.size());
+  for (const trace::Workload& w : workloads) {
+    states.push_back(std::make_unique<AppState>(w, spec_.pipeline));
     build_context(*states.back(), spec_);
   }
 
@@ -350,7 +365,7 @@ ExperimentResult ExperimentRunner::run() {
   // Heavy shared artifacts (teacher, LSTM, DART tables) are trained lazily
   // under the app's context lock the first time a cell needs them.
   ExperimentResult result;
-  result.cells.assign(apps.size() * spec_.prefetchers.size(), ExperimentCell{});
+  result.cells.assign(workloads.size() * spec_.prefetchers.size(), ExperimentCell{});
   std::vector<std::function<void()>> cell_tasks;
   for (std::size_t a = 0; a < states.size(); ++a) {
     for (std::size_t p = 0; p < spec_.prefetchers.size(); ++p) {
@@ -372,7 +387,7 @@ ExperimentResult ExperimentRunner::run() {
                                                   sim::thread_local_sim_workspace());
         cell->spec = spec_text;
         cell->prefetcher = pf->name();
-        cell->app = trace::app_name(state->app);
+        cell->app = state->workload.name();
         cell->stats = stats;
         cell->baseline_ipc = state->baseline_ipc;
         cell->ipc_improvement = state->baseline_ipc > 0.0

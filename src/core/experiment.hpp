@@ -23,7 +23,12 @@ namespace dart::core {
 /// The experiment grid: apps x prefetcher specs, plus shared sim/pipeline
 /// configuration.
 struct ExperimentSpec {
-  std::vector<trace::App> apps;  ///< empty = all eight Table IV apps
+  std::vector<trace::App> apps;  ///< legacy Table IV app subset
+  /// Workload spec strings (trace/workloads.hpp grammar): app names,
+  /// "trace:zipfian,theta=0.99,footprint=64M", "tracefile:path=...". Run
+  /// after `apps`; when BOTH lists are empty the grid defaults to all eight
+  /// Table IV apps.
+  std::vector<std::string> workloads;
   /// Prefetcher spec strings (sim/registry.hpp grammar). Defaults to the
   /// paper's evaluated set; legacy display names are registry aliases.
   std::vector<std::string> prefetchers = {"BO",        "ISB",          "TransFetch",
@@ -42,9 +47,10 @@ struct ExperimentSpec {
   /// Schedule cells on the shared thread pool (false = run in spec order).
   bool parallel = true;
 
-  /// Env-driven defaults: DART_APPS selects the app subset and
-  /// DART_PREFETCHERS accepts arbitrary spec strings (';'-separated; plain
-  /// ','-separated name lists also work).
+  /// Env-driven defaults: DART_APPS selects the app subset, DART_WORKLOADS
+  /// adds workload specs (';'-separated), and DART_PREFETCHERS accepts
+  /// arbitrary prefetcher spec strings (';'-separated; plain ','-separated
+  /// name lists also work).
   static ExperimentSpec bench_defaults();
 };
 
@@ -52,7 +58,7 @@ struct ExperimentSpec {
 struct ExperimentCell {
   std::string spec;        ///< spec string as requested
   std::string prefetcher;  ///< display name (Prefetcher::name())
-  std::string app;         ///< Table IV app name, e.g. "605.mcf"
+  std::string app;         ///< workload display name, e.g. "605.mcf", "ycsb-b"
   sim::SimStats stats;     ///< raw simulator counters for this cell
   double baseline_ipc = 0.0;     ///< no-prefetcher IPC of the same trace
   double ipc_improvement = 0.0;  ///< (ipc - baseline) / baseline

@@ -65,11 +65,11 @@ void save_checkpoint(Model& model, const std::string& path) {
 
 }  // namespace
 
-std::string pipeline_cache_key(trace::App app, const PipelineOptions& o) {
+std::string pipeline_cache_key(const trace::Workload& workload, const PipelineOptions& o) {
   // Field lists come from the io codecs shared with the artifact chunks, so
   // a new struct field can never update the stored format but not the key.
   io::ByteWriter w;
-  w.str(trace::app_name(app));
+  w.str(workload.spec());
   io::put_prep(w, o.prep);
   io::put_model_config(w, o.teacher_arch);
   io::put_model_config(w, o.student_arch);
@@ -128,16 +128,16 @@ PipelineOptions PipelineOptions::bench_defaults() {
 
 std::string Pipeline::checkpoint_path(const char* model) {
   if (opts_.artifact_dir.empty()) return "";
-  if (cache_key_.empty()) cache_key_ = pipeline_cache_key(app_, opts_);
-  return opts_.artifact_dir + "/" + trace::app_name(app_) + "-" + model + "-" + cache_key_ +
-         ".ckpt";
+  if (cache_key_.empty()) cache_key_ = pipeline_cache_key(workload_, opts_);
+  return opts_.artifact_dir + "/" + workload_.name() + "-" + model + "-" + cache_key_ + ".ckpt";
 }
 
-Pipeline::Pipeline(trace::App app, const PipelineOptions& options) : app_(app), opts_(options) {}
+Pipeline::Pipeline(trace::Workload workload, const PipelineOptions& options)
+    : workload_(std::move(workload)), opts_(options) {}
 
 void Pipeline::prepare() {
   if (prepared_) return;
-  raw_ = trace::generate(app_, opts_.raw_accesses, common::derive_seed(opts_.seed, 1));
+  raw_ = workload_.generate(opts_.raw_accesses, common::derive_seed(opts_.seed, 1));
   // The calling thread's SimWorkspace supplies the L1/L2 filter state, so
   // per-app preprocessing reuses cache arrays instead of reallocating.
   llc_ = sim::extract_llc_trace(raw_, opts_.sim, sim::thread_local_sim_workspace());

@@ -16,8 +16,8 @@
 #include "nn/transformer.hpp"
 #include "sim/config.hpp"
 #include "tabular/tabularizer.hpp"
-#include "trace/generators.hpp"
 #include "trace/preprocess.hpp"
+#include "trace/workloads.hpp"
 
 namespace dart::core {
 
@@ -44,16 +44,20 @@ struct PipelineOptions {
   static PipelineOptions bench_defaults();
 };
 
-/// Hash of every option that affects trained models for `app` (trace
+/// Hash of every option that affects trained models for `workload` (trace
 /// generation, preprocessing, architectures, training/distillation/
 /// tabularization knobs, LLC-extraction geometry), as 16 hex digits.
 /// Artifact caches key file names on it so stale files are never reused.
-std::string pipeline_cache_key(trace::App app, const PipelineOptions& options);
+/// The workload contributes its canonical spec string, so two parameterized
+/// workloads never collide. (trace::App converts implicitly.)
+std::string pipeline_cache_key(const trace::Workload& workload, const PipelineOptions& options);
 
-/// Per-application experiment state.
+/// Per-workload experiment state.
 class Pipeline {
  public:
-  Pipeline(trace::App app, const PipelineOptions& options);
+  /// trace::App converts implicitly, so legacy `Pipeline(App::kMcf, o)`
+  /// call sites keep working.
+  Pipeline(trace::Workload workload, const PipelineOptions& options);
 
   /// Stage 0: generate the raw trace, extract the LLC stream, build and
   /// split the dataset. Called implicitly by later stages.
@@ -93,7 +97,7 @@ class Pipeline {
   const nn::Dataset& test_set();
   const trace::MemoryTrace& raw_trace();
   const trace::MemoryTrace& llc_trace();
-  trace::App app() const { return app_; }
+  const trace::Workload& workload() const { return workload_; }
   const PipelineOptions& options() const { return opts_; }
 
  private:
@@ -101,7 +105,7 @@ class Pipeline {
   /// `opts_.artifact_dir`, or "" when caching is disabled.
   std::string checkpoint_path(const char* model);
 
-  trace::App app_;
+  trace::Workload workload_;
   PipelineOptions opts_;
   std::string cache_key_;  ///< lazily computed pipeline_cache_key
   bool prepared_ = false;

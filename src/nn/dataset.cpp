@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
-#include <random>
 #include <stdexcept>
+
+#include "common/rng.hpp"
 
 namespace dart::nn {
 
@@ -32,8 +33,8 @@ Dataset Dataset::slice(std::size_t begin, std::size_t end) const {
 void Dataset::shuffle(std::uint64_t seed) {
   std::vector<std::size_t> idx(size());
   std::iota(idx.begin(), idx.end(), 0);
-  std::mt19937_64 eng(seed);
-  std::shuffle(idx.begin(), idx.end(), eng);
+  common::Rng rng(seed);
+  rng.shuffle(idx);
   addr = gather_rows(addr, idx);
   pc = gather_rows(pc, idx);
   labels = gather_rows(labels, idx);

@@ -2,9 +2,10 @@
 
 #include <cmath>
 #include <numeric>
-#include <random>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/rng.hpp"
 
 namespace dart::nn {
 
@@ -74,17 +75,20 @@ std::string Tensor::shape_str() const {
 
 Tensor Tensor::randn(std::vector<std::size_t> shape, float stddev, std::uint64_t seed) {
   Tensor t(std::move(shape));
-  std::mt19937_64 eng(seed);
-  std::normal_distribution<float> dist(0.0f, stddev);
-  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = dist(eng);
+  common::Rng rng(seed);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal(0.0, static_cast<double>(stddev)));
+  }
   return t;
 }
 
 Tensor Tensor::rand_uniform(std::vector<std::size_t> shape, float bound, std::uint64_t seed) {
   Tensor t(std::move(shape));
-  std::mt19937_64 eng(seed);
-  std::uniform_real_distribution<float> dist(-bound, bound);
-  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = dist(eng);
+  common::Rng rng(seed);
+  const double b = static_cast<double>(bound);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-b, b));
+  }
   return t;
 }
 

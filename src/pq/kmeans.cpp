@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <limits>
-#include <random>
 #include <stdexcept>
 
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 
 namespace dart::pq {
@@ -42,13 +42,12 @@ KMeansResult kmeans(const nn::Tensor& data, std::size_t k, const KMeansOptions& 
   KMeansResult res;
   res.centroids = nn::Tensor({k, v});
   res.assignment.assign(n, 0);
-  std::mt19937_64 eng(opt.seed);
+  common::Rng rng(opt.seed);
 
   // --- k-means++ seeding -------------------------------------------------
   std::vector<float> min_d(n, std::numeric_limits<float>::max());
   {
-    std::uniform_int_distribution<std::size_t> pick(0, n - 1);
-    const std::size_t first = n > 0 ? pick(eng) : 0;
+    const std::size_t first = n > 0 ? static_cast<std::size_t>(rng.below(n)) : 0;
     std::copy(data.row(first), data.row(first) + v, res.centroids.row(0));
   }
   for (std::size_t c = 1; c < k; ++c) {
@@ -62,13 +61,11 @@ KMeansResult kmeans(const nn::Tensor& data, std::size_t k, const KMeansOptions& 
     for (std::size_t i = 0; i < n; ++i) total += min_d[i];
     if (total <= 0.0 || n < k) {
       // Degenerate data (or fewer rows than centroids): sample uniformly.
-      std::uniform_int_distribution<std::size_t> pick(0, n - 1);
-      const std::size_t j = pick(eng);
+      const std::size_t j = static_cast<std::size_t>(rng.below(n));
       std::copy(data.row(j), data.row(j) + v, res.centroids.row(c));
       continue;
     }
-    std::uniform_real_distribution<double> u(0.0, total);
-    double target = u(eng), cum = 0.0;
+    double target = rng.uniform(0.0, total), cum = 0.0;
     std::size_t chosen = n - 1;
     for (std::size_t i = 0; i < n; ++i) {
       cum += min_d[i];
@@ -124,8 +121,7 @@ KMeansResult kmeans(const nn::Tensor& data, std::size_t k, const KMeansOptions& 
     for (std::size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
         // Re-seed empty clusters from a random row to keep K live prototypes.
-        std::uniform_int_distribution<std::size_t> pick(0, n - 1);
-        const std::size_t j = pick(eng);
+        const std::size_t j = static_cast<std::size_t>(rng.below(n));
         std::copy(data.row(j), data.row(j) + v, res.centroids.row(c));
         continue;
       }

@@ -72,15 +72,14 @@ std::uint64_t optional_u64(const FaultSpec& spec, const std::string& key, std::u
   return find_param(spec, key, v) ? parse_u64(spec, key, v) : fallback;
 }
 
-/// Deterministic Bernoulli draw: counter-based SplitMix64, so the decision
-/// sequence depends only on (seed, draw index), never on thread timing.
+/// Deterministic Bernoulli draw: counter-based SplitMix64
+/// (common::counter_u01), so the decision sequence depends only on
+/// (seed, draw index), never on thread timing.
 bool draw(double p, std::uint64_t seed, std::atomic<std::uint64_t>& counter) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
-  const double u =
-      static_cast<double>(common::derive_seed(seed, n) >> 11) * (1.0 / 9007199254740992.0);
-  return u < p;
+  return common::counter_u01(seed, n) < p;
 }
 
 }  // namespace

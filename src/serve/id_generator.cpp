@@ -7,15 +7,6 @@
 namespace dart::serve {
 namespace {
 
-/// SplitMix64 step: passes BigCrush, one multiply-xorshift chain per ID —
-/// cheap enough to sit on the per-request hot path.
-inline std::uint64_t splitmix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 class DefaultIdGenerator final : public IdGenerator {
  public:
   explicit DefaultIdGenerator(std::uint64_t seed) : seed_(seed) {}
@@ -31,8 +22,8 @@ class DefaultIdGenerator final : public IdGenerator {
       owner = this;
       state = common::derive_seed(seed_, streams_.fetch_add(1, std::memory_order_relaxed));
     }
-    std::uint64_t id = splitmix64(state);
-    while (id == 0) id = splitmix64(state);  // 0 is the reserved "no id"
+    std::uint64_t id = common::splitmix64_next(state);
+    while (id == 0) id = common::splitmix64_next(state);  // 0 is the reserved "no id"
     return id;
   }
 

@@ -39,11 +39,11 @@ constexpr std::uint64_t kBackoffCapUs = 512;
 /// Replays one app stream: rolls a T-deep history over the trace, issues
 /// one request per post-warmup access (wrapping the trace as needed) and
 /// drains completions to keep at most `window` requests in flight.
-void run_stream(ClientSession& session, const LoadOptions& options, trace::App app,
-                std::uint64_t seed, StreamCounters& counters) {
+void run_stream(ClientSession& session, const LoadOptions& options,
+                const trace::Workload& workload, std::uint64_t seed, StreamCounters& counters) {
   const trace::PreprocessOptions& prep = options.prep;
   const std::size_t t_len = prep.history;
-  const trace::MemoryTrace trace = trace::generate(app, options.trace_accesses, seed);
+  const trace::MemoryTrace trace = workload.generate(options.trace_accesses, seed);
 
   std::vector<Slot> slots(options.window);
   for (Slot& s : slots) {
@@ -146,6 +146,8 @@ LoadOptions LoadOptions::from_env() {
       common::env_int("DART_SERVE_REQUESTS", static_cast<std::int64_t>(o.requests_per_stream)));
   o.window = static_cast<std::size_t>(
       common::env_int("DART_SERVE_WINDOW", static_cast<std::int64_t>(o.window)));
+  const std::string wls = common::env_string("DART_SERVE_WORKLOADS", "");
+  if (!wls.empty()) o.workloads = trace::parse_workload_list(wls);
   return o;
 }
 
@@ -156,8 +158,10 @@ LoadReport run_client_load(PrefetchServer& server, const LoadOptions& options) {
     throw std::invalid_argument(
         "run_client_load: preprocessing geometry does not match the serving model");
   }
-  const std::vector<trace::App> apps =
-      options.apps.empty() ? trace::all_apps() : options.apps;
+  std::vector<trace::Workload> workloads = options.workloads;
+  if (workloads.empty()) {
+    workloads.assign(trace::all_apps().begin(), trace::all_apps().end());
+  }
 
   std::vector<std::unique_ptr<ClientSession>> sessions;
   std::vector<StreamCounters> counters(options.streams);
@@ -170,7 +174,7 @@ LoadReport run_client_load(PrefetchServer& server, const LoadOptions& options) {
   clients.reserve(options.streams);
   for (std::size_t i = 0; i < options.streams; ++i) {
     clients.emplace_back([&, i] {
-      run_stream(*sessions[i], options, apps[i % apps.size()],
+      run_stream(*sessions[i], options, workloads[i % workloads.size()],
                  common::derive_seed(options.seed, i), counters[i]);
     });
   }

@@ -11,13 +11,13 @@
 #include <vector>
 
 #include "serve/server.hpp"
-#include "trace/generators.hpp"
 #include "trace/preprocess.hpp"
+#include "trace/workloads.hpp"
 
 namespace dart::serve {
 
 /// Client-load shape. `streams` threads each issue `requests_per_stream`
-/// requests; stream i replays app `apps[i % apps.size()]`.
+/// requests; stream i replays workload `workloads[i % workloads.size()]`.
 struct LoadOptions {
   std::size_t streams = 8;              ///< concurrent client threads
   std::size_t requests_per_stream = 20000;  ///< requests issued per stream
@@ -25,10 +25,13 @@ struct LoadOptions {
   std::size_t trace_accesses = 100000;  ///< generated accesses per stream (wraps)
   std::uint64_t seed = 1;               ///< trace-generation seed base
   trace::PreprocessOptions prep;        ///< feature geometry (must match the server)
-  std::vector<trace::App> apps;         ///< replayed apps; empty = all of Table IV
+  /// Replayed workloads (trace::App converts implicitly); empty = all of
+  /// Table IV. Accepts the full spec grammar via DART_SERVE_WORKLOADS, so
+  /// the serving load generator replays the same corpus as the sweeps.
+  std::vector<trace::Workload> workloads;
 
   /// Defaults overridden by DART_SERVE_STREAMS / DART_SERVE_REQUESTS /
-  /// DART_SERVE_WINDOW.
+  /// DART_SERVE_WINDOW / DART_SERVE_WORKLOADS (';'-separated spec list).
   static LoadOptions from_env();
 };
 

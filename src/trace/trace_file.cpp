@@ -1,0 +1,151 @@
+#include "trace/trace_file.hpp"
+
+#include <cstring>
+
+#include "io/bytes.hpp"
+
+namespace dart::trace {
+
+namespace {
+
+/// Records per streaming batch: 4096 records = 100 KiB resident, far below
+/// any realistic trace size, so memory stays flat no matter the file.
+constexpr std::size_t kBatchRecords = 4096;
+
+inline std::uint64_t le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline std::uint32_t le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void write_trace_file(const std::string& path, const MemoryTrace& trace) {
+  io::ByteWriter w;
+  w.u32(kTraceFileMagic);
+  w.u32(kTraceFileVersion);
+  w.u64(trace.size());
+  const std::size_t records_begin = w.size();
+  for (const MemoryAccess& a : trace) {
+    w.u64(a.instr_id);
+    w.u64(a.pc);
+    w.u64(a.addr);
+    w.u8(a.is_write ? 1 : 0);
+  }
+  w.u64(io::fnv1a64(w.bytes().data() + records_begin, w.size() - records_begin));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw io::ArtifactError("trace file: cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(w.bytes().data()),
+            static_cast<std::streamsize>(w.size()));
+  if (!out) throw io::ArtifactError("trace file: short write to '" + path + "'");
+}
+
+TraceFileReader::TraceFileReader(const std::string& path)
+    : path_(path), in_(path, std::ios::binary) {
+  if (!in_) fail("cannot open");
+  std::uint8_t header[kTraceFileHeaderBytes];
+  in_.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    file_offset_ = static_cast<std::uint64_t>(in_.gcount());
+    fail("truncated header (" + std::to_string(in_.gcount()) + " of " +
+         std::to_string(sizeof(header)) + " bytes)");
+  }
+  if (le32(header) != kTraceFileMagic) fail("bad magic (not a .dtrc trace)");
+  const std::uint32_t version = le32(header + 4);
+  if (version != kTraceFileVersion) {
+    file_offset_ = 4;
+    fail("unsupported version " + std::to_string(version));
+  }
+  count_ = le64(header + 8);
+  file_offset_ = kTraceFileHeaderBytes;
+  // Validate the declared count against the actual file size before anyone
+  // trusts it (read_trace_file reserves count records): a hostile or
+  // corrupted header must fail here, not in an allocator.
+  in_.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in_.tellg());
+  const std::uint64_t max_records =
+      (~0ULL - kTraceFileHeaderBytes - 8) / kTraceFileRecordBytes;
+  if (count_ > max_records ||
+      file_size != kTraceFileHeaderBytes + count_ * kTraceFileRecordBytes + 8) {
+    file_offset_ = 8;  // the count field
+    fail("header declares " + std::to_string(count_) + " records but file has " +
+         std::to_string(file_size) + " bytes");
+  }
+  in_.seekg(kTraceFileHeaderBytes, std::ios::beg);
+}
+
+void TraceFileReader::fail(const std::string& what) const {
+  throw io::ArtifactError("trace file '" + path_ + "': " + what + " at byte offset " +
+                          std::to_string(file_offset_ + buf_pos_));
+}
+
+void TraceFileReader::fill_buffer() {
+  file_offset_ += buffer_.size();
+  const std::uint64_t left = count_ - consumed_;
+  const std::size_t batch =
+      static_cast<std::size_t>(left < kBatchRecords ? left : kBatchRecords);
+  buffer_.resize(batch * kTraceFileRecordBytes);
+  buf_pos_ = 0;
+  in_.read(reinterpret_cast<char*>(buffer_.data()),
+           static_cast<std::streamsize>(buffer_.size()));
+  if (in_.gcount() != static_cast<std::streamsize>(buffer_.size())) {
+    buf_pos_ = static_cast<std::size_t>(in_.gcount());
+    fail("truncated record " + std::to_string(consumed_ + in_.gcount() / kTraceFileRecordBytes) +
+         " of " + std::to_string(count_));
+  }
+  checksum_ = io::fnv1a64(buffer_.data(), buffer_.size(),
+                          consumed_ == 0 ? io::kFnv1aBasis : checksum_);
+}
+
+bool TraceFileReader::next(MemoryAccess& out) {
+  if (consumed_ == count_) return false;
+  if (buf_pos_ == buffer_.size()) fill_buffer();
+  const std::uint8_t* p = buffer_.data() + buf_pos_;
+  out.instr_id = le64(p);
+  out.pc = le64(p + 8);
+  out.addr = le64(p + 16);
+  const std::uint8_t flags = p[24];
+  if (flags > 1) {
+    buf_pos_ += 24;
+    fail("corrupt flags byte " + std::to_string(static_cast<int>(flags)) + " in record " +
+         std::to_string(consumed_));
+  }
+  out.is_write = flags != 0;
+  buf_pos_ += kTraceFileRecordBytes;
+  ++consumed_;
+  if (consumed_ == count_) {
+    // Trailer: the stored checksum, then nothing else.
+    std::uint8_t trailer[8];
+    in_.read(reinterpret_cast<char*>(trailer), sizeof(trailer));
+    file_offset_ += buffer_.size();
+    buf_pos_ = 0;
+    if (in_.gcount() != static_cast<std::streamsize>(sizeof(trailer))) {
+      fail("truncated checksum trailer");
+    }
+    const std::uint64_t expect = count_ == 0 ? io::fnv1a64(nullptr, 0) : checksum_;
+    if (le64(trailer) != expect) fail("checksum mismatch (corrupt records)");
+    char extra;
+    if (in_.read(&extra, 1); in_.gcount() != 0) {
+      file_offset_ += sizeof(trailer);
+      fail("trailing garbage after checksum");
+    }
+  }
+  return true;
+}
+
+MemoryTrace read_trace_file(const std::string& path) {
+  TraceFileReader reader(path);
+  MemoryTrace trace;
+  trace.reserve(static_cast<std::size_t>(reader.count()));
+  MemoryAccess a;
+  while (reader.next(a)) trace.push_back(a);
+  return trace;
+}
+
+}  // namespace dart::trace

@@ -1,0 +1,72 @@
+// Binary trace-file format + streaming loader (DESIGN.md §12).
+//
+// `.dtrc` is a ChampSim-style flat record format for shipping captured or
+// pre-generated access streams into the pipeline ("tracefile:path=..."
+// workload specs):
+//
+//     magic   u32   "DTRC" (little-endian 0x43525444)
+//     version u32   currently 1
+//     count   u64   number of records
+//     records count x { instr_id u64, pc u64, addr u64, flags u8 }
+//     checksum u64  FNV-1a over the record bytes
+//
+// All fields little-endian (io/bytes.hpp conventions). `flags` bit 0 is the
+// write bit; other bits must be zero in version 1. The reader streams
+// records in fixed-size batches — it never loads the file wholesale — and
+// bounds-checks every step: truncation, trailing garbage, flag corruption
+// and checksum mismatches throw io::ArtifactError naming the byte offset.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dart::trace {
+
+inline constexpr std::uint32_t kTraceFileMagic = 0x43525444u;  // "DTRC" LE
+inline constexpr std::uint32_t kTraceFileVersion = 1;
+inline constexpr std::size_t kTraceFileHeaderBytes = 16;  // magic+version+count
+inline constexpr std::size_t kTraceFileRecordBytes = 25;  // 3 x u64 + flags
+
+/// Writes `trace` to `path` in the .dtrc format. Throws io::ArtifactError
+/// when the file cannot be created or written.
+void write_trace_file(const std::string& path, const MemoryTrace& trace);
+
+/// Streaming .dtrc reader. Validates the header on construction and the
+/// checksum when the last record has been consumed; every failure throws
+/// io::ArtifactError with the offending byte offset.
+class TraceFileReader {
+ public:
+  explicit TraceFileReader(const std::string& path);
+
+  /// Reads the next record into `out`; false at end-of-trace (at which
+  /// point the checksum has been verified).
+  bool next(MemoryAccess& out);
+
+  /// Records declared by the header.
+  std::uint64_t count() const { return count_; }
+  /// Records consumed so far.
+  std::uint64_t consumed() const { return consumed_; }
+
+ private:
+  void fill_buffer();
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::string path_;
+  std::ifstream in_;
+  std::uint64_t count_ = 0;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t checksum_ = 0;       ///< running FNV-1a over record bytes
+  std::vector<std::uint8_t> buffer_; ///< current batch of raw record bytes
+  std::size_t buf_pos_ = 0;
+  std::uint64_t file_offset_ = 0;    ///< absolute offset of buffer_[0]
+};
+
+/// Reads the whole file through TraceFileReader. Throws io::ArtifactError
+/// on any malformation.
+MemoryTrace read_trace_file(const std::string& path);
+
+}  // namespace dart::trace

@@ -1,12 +1,22 @@
 // Unit tests for the common utilities: thread pool, parallel_for, RNG,
 // env-var parsing, and table printing.
+//
+// The RNG section pins golden output vectors: the counter-based core
+// (SplitMix64 / wyrand / mix64) and every sampler built on it are part of
+// the reproducibility contract (DESIGN.md §12) — artifact hashes and the
+// trace corpus depend on these exact streams, so a change here is a
+// compatibility break, not a refactor.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <numeric>
+#include <stdexcept>
 
+#include "common/detmath.hpp"
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/table_printer.hpp"
@@ -113,6 +123,201 @@ TEST(Rng, DeriveSeedDecorrelatesStreams) {
   EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
   EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
   EXPECT_EQ(derive_seed(5, 9), derive_seed(5, 9));
+}
+
+// --------------------------------------------------------------- golden RNG
+
+// SplitMix64 from state 0: the published reference sequence. Any change to
+// the counter core silently re-keys every committed artifact and trace hash.
+TEST(RngGolden, SplitMix64MatchesReferenceVectors) {
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64_next(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64_next(state), 0x06c45d188009454fULL);
+  EXPECT_EQ(splitmix64_next(state), 0xf88bb8a8724c81ecULL);
+}
+
+TEST(RngGolden, Mix64AndWyrandPinned) {
+  EXPECT_EQ(mix64(1), 0x5692161d100b05e5ULL);
+  EXPECT_EQ(mix64(0xdeadbeefULL), 0x4e062702ec929eeaULL);
+  std::uint64_t state = 1;
+  EXPECT_EQ(wyrand_next(state), 0xcdef1695e1f8ed2cULL);
+  EXPECT_EQ(wyrand_next(state), 0x61d6d24b1c9aad40ULL);
+  EXPECT_EQ(wyrand_next(state), 0x8cf880c22eebfadfULL);
+}
+
+// derive_seed feeds stream decorrelation everywhere (loadgen jitter, fault
+// draws, pipeline sub-seeds); the serve layer pins these exact values.
+TEST(RngGolden, DeriveSeedPinned) {
+  EXPECT_EQ(derive_seed(42, 0), 0xbdd732262feb6e95ULL);
+  EXPECT_EQ(derive_seed(42, 7), 0xccf635ee9e9e2fa4ULL);
+}
+
+TEST(RngGolden, CounterU01MatchesTopBitFormula) {
+  // counter_u01 is the pinned fault-injector draw: top 53 bits of the
+  // derived seed scaled by 2^-53.
+  for (std::uint64_t n = 0; n < 64; ++n) {
+    const double expect =
+        static_cast<double>(derive_seed(9, n) >> 11) * (1.0 / 9007199254740992.0);
+    EXPECT_EQ(counter_u01(9, n), expect);
+  }
+}
+
+TEST(RngGolden, NextU64AndBelowPinned) {
+  Rng r(123);
+  EXPECT_EQ(r.next_u64(), 0x9e3af31dbe02f15fULL);
+  EXPECT_EQ(r.next_u64(), 0xfe55109a08da842dULL);
+  EXPECT_EQ(r.next_u64(), 0x17bc6b4f13530f17ULL);
+  EXPECT_EQ(r.next_u64(), 0x2c7199cfd7076d21ULL);
+  Rng b(7);
+  const std::uint64_t expect[] = {623, 719, 256, 884, 809, 696, 489, 330};
+  for (std::uint64_t e : expect) EXPECT_EQ(b.below(1000), e);
+}
+
+TEST(RngGolden, ShufflePinned) {
+  Rng r(9);
+  std::vector<int> perm(8);
+  std::iota(perm.begin(), perm.end(), 0);
+  r.shuffle(perm);
+  const std::vector<int> expect = {4, 3, 5, 0, 2, 7, 1, 6};
+  EXPECT_EQ(perm, expect);
+}
+
+// The FP samplers go through det:: math only, so their bit patterns are
+// identical across compilers/stdlibs — assert exact doubles via bits.
+TEST(RngGolden, NormalBitExact) {
+  Rng r(11);
+  const std::uint64_t expect[] = {0x3ffbf07d8e5d0834ULL, 0x3fe640a4014df6efULL,
+                                  0x3fd924dcba8319d7ULL, 0x3ffd361dda927bdfULL};
+  for (std::uint64_t e : expect) {
+    const double d = r.normal(0.0, 1.0);
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    EXPECT_EQ(bits, e);
+  }
+}
+
+TEST(RngGolden, SamplersPinned) {
+  ZipfianSampler z(1000, 0.99);
+  Rng rz(5);
+  const std::uint64_t ez[] = {6, 8, 14, 12, 7, 22, 2, 0};
+  for (std::uint64_t e : ez) EXPECT_EQ(z.next(rz), e);
+
+  ScrambledZipfianSampler s(1000, 0.99);
+  Rng rs(5);
+  const std::uint64_t es[] = {492, 120, 209, 500, 604, 67, 730, 0};
+  for (std::uint64_t e : es) EXPECT_EQ(s.next(rs), e);
+
+  LatestSampler l(1000, 0.99);
+  Rng rl(5);
+  const std::uint64_t el[] = {993, 991, 985, 987, 992, 977, 997, 999};
+  for (std::uint64_t e : el) EXPECT_EQ(l.next(rl, 1000), e);
+
+  ExponentialSampler x(1000, 100.0);
+  Rng rx(5);
+  const std::uint64_t ex[] = {41, 47, 59, 56, 44, 70, 22, 13};
+  for (std::uint64_t e : ex) EXPECT_EQ(x.next(rx), e);
+}
+
+TEST(RngGolden, SamplerConstructorRejectsBadParameters) {
+  EXPECT_THROW(ZipfianSampler(0, 0.99), std::invalid_argument);
+  EXPECT_THROW(ZipfianSampler(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfianSampler(100, 1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- statistical RNG
+
+// Lemire-debiased below(n) must be uniform: chi-squared over 64 buckets,
+// 64k draws. 99.9th percentile of chi2(63) is ~106; a biased bound
+// sampler blows far past it.
+TEST(RngStats, BelowIsUniformChiSquared) {
+  constexpr int kBuckets = 64;
+  constexpr int kDraws = 1 << 16;
+  Rng r(2024);
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(kBuckets)];
+  const double expect = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) chi2 += (c - expect) * (c - expect) / expect;
+  EXPECT_LT(chi2, 106.0);
+}
+
+// Zipfian rank-frequency: log f(r) ~ -theta log r. Regress the slope over
+// the top ranks and compare against theta.
+TEST(RngStats, ZipfianRankFrequencySlopeTracksTheta) {
+  for (double theta : {0.8, 0.99}) {
+    constexpr std::uint64_t kItems = 10000;
+    constexpr int kDraws = 1 << 18;
+    ZipfianSampler z(kItems, theta);
+    Rng r(77);
+    std::vector<int> counts(kItems, 0);
+    for (int i = 0; i < kDraws; ++i) ++counts[z.next(r)];
+    // Ranks 1..32 carry plenty of mass; least-squares in log-log space.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    int m = 0;
+    for (int rank = 1; rank <= 32; ++rank) {
+      if (counts[rank - 1] < 8) continue;  // too noisy for the fit
+      const double x = std::log(static_cast<double>(rank));
+      const double y = std::log(static_cast<double>(counts[rank - 1]));
+      sx += x; sy += y; sxx += x * x; sxy += x * y;
+      ++m;
+    }
+    ASSERT_GE(m, 16);
+    const double slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+    EXPECT_NEAR(-slope, theta, 0.12) << "theta=" << theta;
+  }
+}
+
+// Latest: recency-skewed — the newest 1% of keys should absorb most of the
+// mass. Exponential: mean near the configured mean, truncated to items.
+TEST(RngStats, LatestAndExponentialRecencyMass) {
+  constexpr std::uint64_t kItems = 10000;
+  constexpr int kDraws = 1 << 16;
+  LatestSampler latest(kItems, 0.99);
+  Rng rl(31);
+  int newest = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (latest.next(rl, kItems) >= kItems - kItems / 100) ++newest;
+  }
+  EXPECT_GT(static_cast<double>(newest) / kDraws, 0.5);
+
+  ExponentialSampler expo(kItems, 250.0);
+  Rng re(32);
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += static_cast<double>(expo.next(re));
+  EXPECT_NEAR(sum / kDraws, 250.0, 25.0);
+}
+
+TEST(RngStats, NormalMomentsMatch) {
+  Rng r(5150);
+  constexpr int kDraws = 1 << 16;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double d = r.normal(2.0, 3.0);
+    sum += d;
+    sumsq += d * d;
+  }
+  const double mean = sum / kDraws;
+  const double var = sumsq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+// det:: math replaces libm on sampler paths; it must stay accurate or the
+// zipfian eta/alpha terms drift from the YCSB reference distribution.
+TEST(DetMath, TracksLibmWithinTolerance) {
+  for (double x : {1e-6, 0.01, 0.5, 1.0, 2.0, 10.0, 12345.678, 1e12}) {
+    EXPECT_NEAR(det::log(x), std::log(x), std::abs(std::log(x)) * 1e-12 + 1e-14) << x;
+  }
+  for (double x : {-40.0, -1.5, 0.0, 0.5, 3.0, 30.0}) {
+    EXPECT_NEAR(det::exp(x), std::exp(x), std::exp(x) * 1e-12) << x;
+  }
+  for (double b : {0.1, 0.99, 2.0, 700.0}) {
+    for (double e : {-2.0, -0.01, 0.5, 1.0, 3.0}) {
+      EXPECT_NEAR(det::pow(b, e), std::pow(b, e), std::abs(std::pow(b, e)) * 1e-11)
+          << b << "^" << e;
+    }
+  }
 }
 
 TEST(Env, IntParsesAndFallsBack) {

@@ -4,8 +4,8 @@
 // prefetcher in the timing simulator.
 //
 //   dart_run ARTIFACT.dart [--info] [--bench] [--simulate] [--serve]
-//            [--app NAME] [--queries N] [--streams N] [--requests N]
-//            [--shards N] [--batch-cap N] [--linger-us N]
+//            [--app NAME] [--workload SPEC] [--queries N] [--streams N]
+//            [--requests N] [--shards N] [--batch-cap N] [--linger-us N]
 //
 // Modes (default --info; several can be combined in one invocation):
 //   --info      print the artifact header: architecture, tables, storage,
@@ -20,8 +20,11 @@
 //               replaying the artifact's app; prints the aggregate
 //               throughput, latency quantiles, and per-shard counters.
 //
-// `--app` overrides the app recorded in the artifact (e.g. to measure how
-// a model trained on one workload generalizes to another). `--queries`
+// `--app`/`--workload` override the workload recorded in the artifact
+// (e.g. to measure how a model trained on one workload generalizes to
+// another); both accept the full trace/workloads.hpp spec grammar — app
+// names, "trace:zipfian,theta=0.99,footprint=64M,seed=42", "ycsb-b", or
+// "tracefile:path=trace.dtrc". `--queries`
 // caps the bench query count (default DART_BENCH_QUERIES or 4096).
 // `--streams`/`--requests` shape the serve client load and
 // `--shards`/`--batch-cap`/`--linger-us` the serve engine, overriding
@@ -46,7 +49,7 @@
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
 #include "sim/simulator.hpp"
-#include "trace/generators.hpp"
+#include "trace/workloads.hpp"
 #include "trace/preprocess.hpp"
 
 using namespace dart;
@@ -56,8 +59,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s ARTIFACT.dart [--info] [--bench] [--simulate] [--serve] "
-               "[--app NAME] [--queries N] [--streams N] [--requests N] [--shards N] "
-               "[--batch-cap N] [--linger-us N]\n",
+               "[--app NAME] [--workload SPEC] [--queries N] [--streams N] [--requests N] "
+               "[--shards N] [--batch-cap N] [--linger-us N]\n",
                argv0);
   return 2;
 }
@@ -86,23 +89,24 @@ void print_info(const std::string& path, const io::ArtifactInfo& info,
               info.meta.config_key.empty() ? "(none)" : info.meta.config_key.c_str());
 }
 
-/// Deterministically rebuilds the app's dataset from the artifact's
+/// Deterministically rebuilds the workload's dataset from the artifact's
 /// recorded preprocessing geometry — trace generation + segmentation only,
 /// no model training anywhere on this path.
-nn::Dataset build_eval_dataset(trace::App app, const trace::PreprocessOptions& prep) {
+nn::Dataset build_eval_dataset(const trace::Workload& workload,
+                               const trace::PreprocessOptions& prep) {
   core::PipelineOptions options = core::PipelineOptions::bench_defaults();
   options.prep = prep;
   if (options.prep.max_samples == 0) options.prep.max_samples = 6000;
-  core::Pipeline pipe(app, options);
+  core::Pipeline pipe(workload, options);
   return pipe.test_set();
 }
 
-int run_bench(trace::App app, const io::ArtifactInfo& info,
+int run_bench(const trace::Workload& workload, const io::ArtifactInfo& info,
               const tabular::TabularPredictor& predictor, std::size_t queries) {
-  nn::Dataset data = build_eval_dataset(app, info.meta.prep);
+  nn::Dataset data = build_eval_dataset(workload, info.meta.prep);
   if (data.size() == 0) {
     std::fprintf(stderr, "bench: empty evaluation dataset for %s\n",
-                 trace::app_name(app).c_str());
+                 workload.name().c_str());
     return 1;
   }
   const std::size_t n = std::min(queries, data.size());
@@ -114,17 +118,17 @@ int run_bench(trace::App app, const io::ArtifactInfo& info,
   const nn::F1Result f1 = nn::f1_score_from_probs(probs, probe.labels);
 
   std::printf("bench      : %zu queries on %s in %.2f ms (%.0f q/s, batched)\n", n,
-              trace::app_name(app).c_str(), ms, 1000.0 * static_cast<double>(n) / ms);
+              workload.name().c_str(), ms, 1000.0 * static_cast<double>(n) / ms);
   std::printf("accuracy   : F1 %.4f (precision %.4f, recall %.4f) vs trace labels\n", f1.f1,
               f1.precision, f1.recall);
   return 0;
 }
 
-int run_simulate(trace::App app, const io::ArtifactInfo& info,
+int run_simulate(const trace::Workload& workload, const io::ArtifactInfo& info,
                  std::shared_ptr<const tabular::TabularPredictor> predictor) {
   core::PipelineOptions options = core::PipelineOptions::bench_defaults();
   const trace::MemoryTrace trace =
-      trace::generate(app, options.raw_accesses, common::derive_seed(options.seed, 1));
+      workload.generate(options.raw_accesses, common::derive_seed(options.seed, 1));
 
   // One reusable workspace serves both replays (second run allocates
   // nothing).
@@ -146,7 +150,7 @@ int run_simulate(trace::App app, const io::ArtifactInfo& info,
       baseline.ipc() > 0.0 ? (stats.ipc() - baseline.ipc()) / baseline.ipc() : 0.0;
 
   std::printf("simulate   : %s on %s, %llu accesses\n", prefetcher.name().c_str(),
-              trace::app_name(app).c_str(),
+              workload.name().c_str(),
               static_cast<unsigned long long>(stats.llc_accesses));
   std::printf("  baseline IPC %.3f -> %.3f (%+.1f%%)\n", baseline.ipc(), stats.ipc(),
               100.0 * improvement);
@@ -157,14 +161,16 @@ int run_simulate(trace::App app, const io::ArtifactInfo& info,
 }
 
 /// Serves the artifact through the sharded engine under simulated client
-/// load (serve::run_client_load), replaying `app` on every stream. Engine
-/// and load shape come from the DART_SERVE_* environment, already
+/// load (serve::run_client_load), replaying `workload` on every stream.
+/// Engine and load shape come from the DART_SERVE_* environment, already
 /// overridden by the CLI flags in main.
-int run_serve(trace::App app, const io::ArtifactInfo& info,
+int run_serve(const trace::Workload& workload, const io::ArtifactInfo& info,
               std::shared_ptr<const tabular::TabularPredictor> predictor,
               const serve::ServeConfig& config, serve::LoadOptions load) {
   load.prep = info.meta.prep;
-  load.apps = {app};
+  // DART_SERVE_WORKLOADS (already parsed into `load` by from_env) wins;
+  // otherwise every stream replays the workload the artifact was trained on.
+  if (load.workloads.empty()) load.workloads = {workload};
 
   // DART_FAULT arms the deterministic fault injector (serve/fault.hpp) for
   // this serve run — the operator-facing way to rehearse overload and
@@ -179,8 +185,13 @@ int run_serve(trace::App app, const io::ArtifactInfo& info,
   const serve::LoadReport report = serve::run_client_load(server, load);
   if (!fault_spec.empty()) serve::fault_injector().clear();
 
+  std::string load_names;
+  for (const trace::Workload& w : load.workloads) {
+    if (!load_names.empty()) load_names += ';';
+    load_names += w.name();
+  }
   std::printf("serve      : %zu streams x %zu requests on %s over %zu shard(s)\n",
-              report.streams, load.requests_per_stream, trace::app_name(app).c_str(),
+              report.streams, load.requests_per_stream, load_names.c_str(),
               server.num_shards());
   std::printf("  throughput %.0f predictions/sec, p50 %.1f us, p99 %.1f us\n",
               report.predictions_per_sec, report.server.p50_ns / 1000.0,
@@ -247,7 +258,7 @@ int main(int argc, char** argv) try {
       simulate_mode = true;
     } else if (arg == "--serve") {
       serve_mode = true;
-    } else if (arg == "--app") {
+    } else if (arg == "--app" || arg == "--workload") {
       app_override = value();
     } else if (arg == "--queries") {
       queries = static_cast<std::size_t>(std::stoul(value()));
@@ -287,22 +298,25 @@ int main(int argc, char** argv) try {
     std::printf("cold start : loaded and validated in %.1f ms\n", load_ms);
   }
   if (bench_mode || simulate_mode || serve_mode) {
-    const std::string app_name = !app_override.empty() ? app_override : info.meta.app;
-    if (app_name.empty()) {
-      std::fprintf(stderr, "artifact records no app; pass --app NAME\n");
+    // The artifact's meta.app field stores the producing workload's
+    // canonical spec; Workload::parse accepts app names and spec strings
+    // alike, so old artifacts keep working.
+    const std::string spec_text = !app_override.empty() ? app_override : info.meta.app;
+    if (spec_text.empty()) {
+      std::fprintf(stderr, "artifact records no workload; pass --workload SPEC\n");
       return 2;
     }
-    const trace::App app = trace::app_from_name(app_name);
+    const trace::Workload workload = trace::Workload::parse(spec_text);
     if (bench_mode) {
-      const int rc = run_bench(app, info, *predictor, queries);
+      const int rc = run_bench(workload, info, *predictor, queries);
       if (rc != 0) return rc;
     }
     if (simulate_mode) {
-      const int rc = run_simulate(app, info, predictor);
+      const int rc = run_simulate(workload, info, predictor);
       if (rc != 0) return rc;
     }
     if (serve_mode) {
-      const int rc = run_serve(app, info, predictor, serve_config, serve_load);
+      const int rc = run_serve(workload, info, predictor, serve_config, serve_load);
       if (rc != 0) return rc;
     }
   }

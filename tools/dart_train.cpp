@@ -1,15 +1,20 @@
 // dart_train — train a DART model and ship it as a versioned `.dart`
 // artifact (DESIGN.md §7).
 //
-// Runs the full pipeline for one application (trace -> teacher -> distilled
+// Runs the full pipeline for one workload (trace -> teacher -> distilled
 // student -> layer-wise tabularization), persists the deployable bundle,
 // then reloads it and verifies the round trip is bit-exact on held-out
 // inputs before reporting success. The artifact can be served by
 // `dart_run`, the `dart-artifact:file=...` prefetcher spec, or any process
 // linking `src/io` — with no training dependency.
 //
-//   dart_train [--app 605.mcf] [--variant s|m|l] [--tables K] [--codebooks C]
-//              [--out FILE] [--artifact-dir DIR] [--no-verify]
+//   dart_train [--app 605.mcf | --workload SPEC] [--variant s|m|l]
+//              [--tables K] [--codebooks C] [--out FILE]
+//              [--artifact-dir DIR] [--no-verify]
+//
+// `--app`/`--workload` accept the full trace/workloads.hpp spec grammar:
+// Table IV app names and synthetic specs like
+// "trace:zipfian,theta=0.99,footprint=64M" or "ycsb-b" train just the same.
 //
 // `--artifact-dir` additionally caches teacher/student checkpoints there,
 // so retraining a different variant of the same app skips the teacher.
@@ -32,8 +37,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--app NAME] [--variant s|m|l] [--tables K] [--codebooks C]\n"
-               "          [--out FILE] [--artifact-dir DIR] [--no-verify]\n",
+               "usage: %s [--app NAME | --workload SPEC] [--variant s|m|l] [--tables K]\n"
+               "          [--codebooks C] [--out FILE] [--artifact-dir DIR] [--no-verify]\n",
                argv0);
   return 2;
 }
@@ -56,7 +61,7 @@ int main(int argc, char** argv) try {
       }
       return argv[++i];
     };
-    if (arg == "--app") {
+    if (arg == "--app" || arg == "--workload") {
       app_name = value();
     } else if (arg == "--variant") {
       request.variant = value();
@@ -76,22 +81,22 @@ int main(int argc, char** argv) try {
     }
   }
 
-  const trace::App app = trace::app_from_name(app_name);
+  const trace::Workload workload = trace::Workload::parse(app_name);
   core::PipelineOptions options = core::PipelineOptions::bench_defaults();
   if (!artifact_dir.empty()) options.artifact_dir = artifact_dir;
   if (out_path.empty()) {
-    out_path = trace::app_name(app) + "-" + core::normalize_dart_variant(request.variant) +
+    out_path = workload.name() + "-" + core::normalize_dart_variant(request.variant) +
                ".dart";
   }
 
-  std::printf("== dart_train: %s, variant %s ==\n", trace::app_name(app).c_str(),
+  std::printf("== dart_train: %s, variant %s ==\n", workload.name().c_str(),
               core::normalize_dart_variant(request.variant).c_str());
   common::Stopwatch timer;
-  core::Pipeline pipe(app, options);
+  core::Pipeline pipe(workload, options);
   core::TrainedDart trained = core::train_dart(pipe, request);
   const double train_seconds = timer.elapsed_s();
 
-  if (!core::save_dart_artifact(out_path, app, trained, "dart_train")) return 1;
+  if (!core::save_dart_artifact(out_path, workload, trained, "dart_train")) return 1;
   const io::ArtifactInfo info = io::read_artifact_info(out_path);
 
   const nn::F1Result f1 = pipe.eval_tabular(trained.predictor);
