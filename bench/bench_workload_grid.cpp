@@ -15,6 +15,12 @@
 // tractable: rule-based baselines + the tabular DART variants; the NN
 // baselines train per workload and dominate wall-clock), and the usual
 // DART_EPOCHS / DART_TRAIN_SAMPLES / DART_SIM_INSTR scale levers.
+//
+// The grid runs through the resumable sweep machinery (DESIGN.md §13):
+// DART_SWEEP_DIR (or --store DIR) points at a durable result store, so an
+// interrupted overnight grid resumes instead of restarting — CI and local
+// runs produce table9_workloads.csv through the exact same path. The
+// DART_SWEEP_TIMEOUT_MS / DART_SWEEP_RETRIES knobs apply unchanged.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -28,12 +34,16 @@ using namespace dart;
 
 int main(int argc, char** argv) {
   std::string csv_path = "table9_workloads.csv";
+  std::string store_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) csv_path = argv[++i];
+    if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) store_dir = argv[++i];
   }
 
   core::ExperimentSpec spec = core::ExperimentSpec::bench_defaults();
   spec.apps.clear();  // synthetic corpus only; DART_APPS does not apply here
+  spec.sweep = core::SweepOptions::from_env();
+  if (!store_dir.empty()) spec.sweep.store_dir = store_dir;
   if (spec.workloads.empty()) {
     spec.workloads = {
         "trace:zipfian,footprint=64M,theta=0.99",
@@ -52,9 +62,15 @@ int main(int argc, char** argv) {
 
   std::printf("running workload-corpus grid (%zu workloads x %zu prefetchers)...\n",
               spec.workloads.size(), spec.prefetchers.size());
+  if (!spec.sweep.store_dir.empty()) {
+    std::printf("result store: %s (crash-safe, resumable)\n", spec.sweep.store_dir.c_str());
+  }
   common::Stopwatch watch;
   core::ExperimentResult result = core::ExperimentRunner(spec).run();
-  std::printf("grid done in %.1f s\n", watch.elapsed_s());
+  std::printf("grid done in %.1f s (%zu simulated, %zu reused, %zu quarantined)\n",
+              watch.elapsed_s(), result.count(core::CellStatus::kDone),
+              result.count(core::CellStatus::kSkipped),
+              result.count(core::CellStatus::kFailed));
 
   bench::print_metric_table(result, "accuracy", "Prefetch accuracy over the workload corpus",
                             "workload_grid_accuracy.csv");

@@ -1,11 +1,11 @@
-#include "serve/fault.hpp"
+#include "common/fault.hpp"
 
 #include <list>
 #include <stdexcept>
 
 #include "common/rng.hpp"
 
-namespace dart::serve {
+namespace dart::common {
 
 namespace {
 
@@ -70,6 +70,13 @@ std::uint64_t required_u64(const FaultSpec& spec, const std::string& key) {
 std::uint64_t optional_u64(const FaultSpec& spec, const std::string& key, std::uint64_t fallback) {
   std::string v;
   return find_param(spec, key, v) ? parse_u64(spec, key, v) : fallback;
+}
+
+std::string required_str(const FaultSpec& spec, const std::string& key) {
+  std::string v;
+  if (!find_param(spec, key, v)) bad_spec(spec.kind + ": missing required parameter '" + key + "'");
+  if (v.empty()) bad_spec(spec.kind + ": parameter '" + key + "' must not be empty");
+  return v;
 }
 
 /// Deterministic Bernoulli draw: counter-based SplitMix64
@@ -151,12 +158,37 @@ struct FaultInjector::Plan {
     std::uint64_t count = 1;  ///< reads affected before the clause expires
     mutable std::atomic<std::uint64_t> used{0};
   };
+  struct FailCell {
+    std::string match;        ///< substring of the "app|prefetcher" label
+    std::uint64_t times = 0;  ///< matching attempts failed; 0 = forever
+    mutable std::atomic<std::uint64_t> fired{0};
+  };
+  struct SlowCell {
+    std::string match;
+    std::uint64_t ms = 0;
+    std::uint64_t times = 0;  ///< matching attempts delayed; 0 = forever
+    mutable std::atomic<std::uint64_t> fired{0};
+  };
+  struct MutateStore {
+    std::uint64_t bytes = 0;  ///< tail bytes chopped off the segment image
+    std::uint64_t count = 1;  ///< opens affected before the clause expires
+    mutable std::atomic<std::uint64_t> used{0};
+  };
+  struct CrashAfterCommit {
+    std::uint64_t after = 1;  ///< fire right after this commit ordinal
+    bool hard = false;        ///< _Exit instead of throwing
+    mutable std::atomic<std::uint64_t> commits{0};
+  };
 
   std::list<SlowShard> slow;
   std::list<StallShard> stall;
   std::list<DropWake> drop_wake;
   std::list<RejectSubmit> reject;
   std::list<MutateArtifact> mutate;
+  std::list<FailCell> fail_cell;
+  std::list<SlowCell> slow_cell;
+  std::list<MutateStore> mutate_store;
+  std::list<CrashAfterCommit> crash;
 };
 
 void FaultInjector::install(const std::string& spec) {
@@ -204,6 +236,29 @@ void FaultInjector::install(const std::string& spec) {
       c.truncate = true;
       c.arg = required_u64(s, "bytes");
       c.count = optional_u64(s, "count", 1);
+    } else if (s.kind == "fail-cell") {
+      require_known_params(s, {"match", "times"});
+      auto& c = plan->fail_cell.emplace_back();
+      c.match = required_str(s, "match");
+      c.times = optional_u64(s, "times", 0);
+    } else if (s.kind == "slow-cell") {
+      require_known_params(s, {"match", "ms", "times"});
+      auto& c = plan->slow_cell.emplace_back();
+      c.match = required_str(s, "match");
+      c.ms = required_u64(s, "ms");
+      c.times = optional_u64(s, "times", 0);
+    } else if (s.kind == "corrupt-store-tail") {
+      require_known_params(s, {"bytes", "count"});
+      auto& c = plan->mutate_store.emplace_back();
+      c.bytes = required_u64(s, "bytes");
+      if (c.bytes == 0) bad_spec("corrupt-store-tail: 'bytes' must be positive");
+      c.count = optional_u64(s, "count", 1);
+    } else if (s.kind == "crash-after-commit") {
+      require_known_params(s, {"after", "hard"});
+      auto& c = plan->crash.emplace_back();
+      c.after = required_u64(s, "after");
+      if (c.after == 0) bad_spec("crash-after-commit: 'after' must be positive");
+      c.hard = optional_u64(s, "hard", 0) != 0;
     } else {
       bad_spec("unknown fault kind '" + s.kind + "'");
     }
@@ -217,6 +272,10 @@ void FaultInjector::install(const std::string& spec) {
   wakes_dropped_.store(0, std::memory_order_relaxed);
   submits_rejected_.store(0, std::memory_order_relaxed);
   artifacts_mutated_.store(0, std::memory_order_relaxed);
+  cells_failed_.store(0, std::memory_order_relaxed);
+  cells_delayed_.store(0, std::memory_order_relaxed);
+  stores_mutated_.store(0, std::memory_order_relaxed);
+  crashes_.store(0, std::memory_order_relaxed);
   armed_.store(!empty, std::memory_order_release);
 }
 
@@ -299,6 +358,54 @@ void FaultInjector::mutate_artifact(std::vector<std::uint8_t>& bytes) {
   if (mutated) artifacts_mutated_.fetch_add(1, std::memory_order_relaxed);
 }
 
+CellFault FaultInjector::on_cell(const std::string& label) {
+  CellFault fault;
+  if (!armed()) return fault;
+  const auto p = plan();
+  if (!p) return fault;
+  for (const auto& c : p->slow_cell) {
+    if (label.find(c.match) == std::string::npos) continue;
+    if (c.times != 0 && c.fired.fetch_add(1, std::memory_order_relaxed) >= c.times) continue;
+    fault.delay_ms += c.ms;
+    cells_delayed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (const auto& c : p->fail_cell) {
+    if (label.find(c.match) == std::string::npos) continue;
+    if (c.times != 0 && c.fired.fetch_add(1, std::memory_order_relaxed) >= c.times) continue;
+    fault.fail = true;
+    cells_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fault;
+}
+
+void FaultInjector::mutate_store(std::vector<std::uint8_t>& bytes) {
+  if (!armed()) return;
+  const auto p = plan();
+  if (!p) return;
+  bool mutated = false;
+  for (const auto& c : p->mutate_store) {
+    if (c.used.fetch_add(1, std::memory_order_relaxed) >= c.count) continue;
+    bytes.resize(bytes.size() > c.bytes ? bytes.size() - static_cast<std::size_t>(c.bytes) : 0);
+    mutated = true;
+  }
+  if (mutated) stores_mutated_.fetch_add(1, std::memory_order_relaxed);
+}
+
+CrashAction FaultInjector::on_store_commit() {
+  if (!armed()) return CrashAction::kNone;
+  const auto p = plan();
+  if (!p) return CrashAction::kNone;
+  for (const auto& c : p->crash) {
+    // Exactly-once: only the commit whose ordinal equals `after` trips the
+    // crash; a resumed sweep's commits count past it.
+    if (c.commits.fetch_add(1, std::memory_order_relaxed) + 1 == c.after) {
+      crashes_.fetch_add(1, std::memory_order_relaxed);
+      return c.hard ? CrashAction::kExit : CrashAction::kThrow;
+    }
+  }
+  return CrashAction::kNone;
+}
+
 FaultCounters FaultInjector::counters() const {
   FaultCounters c;
   c.slow_batches = slow_batches_.load(std::memory_order_relaxed);
@@ -306,6 +413,10 @@ FaultCounters FaultInjector::counters() const {
   c.wakes_dropped = wakes_dropped_.load(std::memory_order_relaxed);
   c.submits_rejected = submits_rejected_.load(std::memory_order_relaxed);
   c.artifacts_mutated = artifacts_mutated_.load(std::memory_order_relaxed);
+  c.cells_failed = cells_failed_.load(std::memory_order_relaxed);
+  c.cells_delayed = cells_delayed_.load(std::memory_order_relaxed);
+  c.stores_mutated = stores_mutated_.load(std::memory_order_relaxed);
+  c.crashes = crashes_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -314,4 +425,4 @@ FaultInjector& fault_injector() {
   return instance;
 }
 
-}  // namespace dart::serve
+}  // namespace dart::common

@@ -43,8 +43,15 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    error = pending_error_;
+    pending_error_ = nullptr;
+  }
+  // Rethrown outside the lock so the handler can submit new work.
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
@@ -59,9 +66,17 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++in_flight_;
     }
-    task();
+    // A throwing task must not take the worker (std::terminate) or vanish
+    // silently: capture the exception for the next wait_idle() caller.
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (error && !pending_error_) pending_error_ = error;
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }
@@ -115,19 +130,31 @@ void parallel_for_blocks(std::size_t n,
   std::mutex done_mutex;
   std::condition_variable done_cv;
   std::size_t remaining = blocks;
+  std::exception_ptr first_error;
   for (std::size_t b = 0; b < blocks; ++b) {
     const std::size_t begin = b * chunk;
     const std::size_t end = std::min(n, begin + chunk);
     pool.submit([&, b, begin, end] {
-      body(b, begin, end);
+      // A throwing block must still decrement `remaining` (or the join
+      // below waits forever); the first exception is rethrown to the
+      // forking caller after every block finished.
+      std::exception_ptr error;
+      try {
+        body(b, begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
       // Decrement under the mutex so the waiter cannot destroy the
       // synchronization state while this worker still references it.
       std::lock_guard lock(done_mutex);
+      if (error && !first_error) first_error = error;
       if (--remaining == 0) done_cv.notify_all();
     });
   }
   std::unique_lock lock(done_mutex);
   done_cv.wait(lock, [&] { return remaining == 0; });
+  lock.unlock();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,

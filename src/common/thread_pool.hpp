@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -20,8 +21,14 @@ namespace dart::common {
 /// A fixed-size worker pool executing arbitrary tasks.
 ///
 /// Tasks are `std::function<void()>`; `wait_idle()` blocks until every
-/// submitted task has finished. The pool is non-copyable and joins its
-/// workers on destruction (RAII, C++ Core Guidelines CP.25).
+/// submitted task has finished. A task that throws never terminates the
+/// process: the worker captures the `std::exception_ptr` and the next
+/// `wait_idle()` call rethrows the first captured exception to the waiting
+/// caller (later ones from the same batch are dropped — one failure is
+/// enough to fail the wait, and the pool itself stays usable). The
+/// fork-join helpers below (`parallel_for*`) propagate the same way at
+/// their own join point. The pool is non-copyable and joins its workers on
+/// destruction (RAII, C++ Core Guidelines CP.25).
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means `hardware_concurrency()`.
@@ -34,7 +41,9 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle, then
+  /// rethrows the first exception any task threw since the last wait
+  /// (clearing the captured backlog).
   void wait_idle();
 
   std::size_t size() const { return workers_.size(); }
@@ -57,6 +66,9 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  /// First exception thrown by a task since the last wait_idle(); kept
+  /// under mutex_ and rethrown (then cleared) at the next wait_idle().
+  std::exception_ptr pending_error_;
 };
 
 /// Pins the calling thread to CPU `core` (modulo the hardware core count).

@@ -11,6 +11,7 @@
 // string — this file never changes.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,46 @@
 #include "sim/simulator.hpp"
 
 namespace dart::core {
+
+/// How a sweep cell resolved. Every cell of a finished grid carries exactly
+/// one status, and `completed + failed + skipped == grid size` always holds
+/// (the sweep analogue of the serving layer's exactly-one-resolution
+/// invariant, DESIGN.md §13).
+enum class CellStatus : std::uint8_t {
+  kDone = 0,     ///< simulated in this run (or stored as such)
+  kFailed = 1,   ///< quarantined: every allowed attempt failed
+  kSkipped = 2,  ///< reused from the result store without re-simulation
+};
+
+/// Stable lowercase name for reports and logs ("done"/"failed"/"skipped").
+const char* cell_status_name(CellStatus status);
+
+/// Crash-safety and scale-out knobs for a sweep (DESIGN.md §13). All
+/// default to the legacy in-memory behavior: no store, no timeout, two
+/// retries, unsharded replay.
+struct SweepOptions {
+  /// Result-store directory; empty disables persistence and resume.
+  std::string store_dir;
+  /// Wall-clock budget per cell attempt in milliseconds; 0 = unlimited.
+  /// A timed-out attempt is abandoned (its thread is reaped before run()
+  /// returns) and counts as a failure toward the retry budget.
+  std::uint64_t cell_timeout_ms = 0;
+  /// Retries after the first failed attempt (total attempts = retries + 1).
+  std::uint32_t cell_retries = 2;
+  /// Backoff before retry r is `backoff_ms << (r-1)` (doubling); 0 disables.
+  std::uint64_t backoff_ms = 10;
+  /// Contiguous trace shards per cell replay (sim/shard_replay.hpp); 1 =
+  /// classic unsharded replay. Cells whose prefetcher shares a mutable
+  /// model (the NN adapters) always replay unsharded.
+  std::size_t trace_shards = 1;
+  /// Warmup accesses per shard; SIZE_MAX = full-prefix (bit-exact merge).
+  std::size_t shard_warmup = static_cast<std::size_t>(-1);
+
+  /// Env-driven defaults: DART_SWEEP_DIR, DART_SWEEP_TIMEOUT_MS,
+  /// DART_SWEEP_RETRIES, DART_SWEEP_BACKOFF_MS, DART_SWEEP_SHARDS,
+  /// DART_SWEEP_WARMUP (-1 = full prefix).
+  static SweepOptions from_env();
+};
 
 /// The experiment grid: apps x prefetcher specs, plus shared sim/pipeline
 /// configuration.
@@ -46,6 +87,9 @@ struct ExperimentSpec {
   std::size_t nn_trigger_sample = 4;
   /// Schedule cells on the shared thread pool (false = run in spec order).
   bool parallel = true;
+  /// Crash-safety / resume / sharding knobs; defaults keep the legacy
+  /// in-memory single-shot behavior.
+  SweepOptions sweep;
 
   /// Env-driven defaults: DART_APPS selects the app subset, DART_WORKLOADS
   /// adds workload specs (';'-separated), and DART_PREFETCHERS accepts
@@ -64,6 +108,13 @@ struct ExperimentCell {
   double ipc_improvement = 0.0;  ///< (ipc - baseline) / baseline
   std::size_t storage_bytes = 0;   ///< prefetcher metadata/model footprint
   std::size_t latency_cycles = 0;  ///< prediction latency (Table IX)
+  /// How this cell resolved (kSkipped = reused from the result store).
+  CellStatus status = CellStatus::kDone;
+  /// Attempts consumed (1 = first try succeeded; 0 = reused from store
+  /// before this run made any attempt).
+  std::uint32_t attempts = 0;
+  /// Last attempt's error text for kFailed cells; empty otherwise.
+  std::string error;
 };
 
 /// Mean accuracy / coverage / IPC improvement per prefetcher, in first-seen
@@ -90,6 +141,9 @@ struct ExperimentResult {
   const ExperimentCell* find(const std::string& prefetcher, const std::string& app) const;
   /// Per-prefetcher means across apps (the Table IX aggregation).
   std::vector<PrefetcherSummary> summaries() const;
+  /// Number of cells with the given resolution status. For any finished
+  /// grid, the three counts sum to `cells.size()`.
+  std::size_t count(CellStatus status) const;
 
   /// CSV round-trip. `tag` is an opaque first-line comment (cache keying);
   /// read_csv returns false when the file is missing or the tag mismatches.
@@ -107,15 +161,29 @@ struct ExperimentResult {
 /// task on the shared thread pool. Heavy artifacts (teacher, LSTM, DART
 /// tables) are trained lazily, once per app, on first use by any cell — or
 /// reloaded from `pipeline.artifact_dir` when a fresh artifact exists.
+///
+/// With `spec.sweep.store_dir` set the run is RESTARTABLE (DESIGN.md §13):
+/// the runner opens the durable result store, replays it, marks every cell
+/// whose key (workload x prefetcher x configuration hash) already has a
+/// completed record as kSkipped without re-simulating, schedules only the
+/// remainder, and commits each resolving cell to the store (fsync'd)
+/// before moving on. Cell failures are retried with doubling backoff under
+/// an optional wall-clock timeout; exhausted cells are quarantined as
+/// kFailed records rather than aborting the sweep, so one pathological
+/// cell can never take down an overnight grid.
 class ExperimentRunner {
  public:
   /// Captures the grid; nothing runs until `run()`.
   explicit ExperimentRunner(ExperimentSpec spec);
 
   /// Runs the grid. Spec strings are validated up front (unknown prefetcher
-  /// names throw before any training starts). A cell failure propagates to
-  /// the caller; in parallel mode it is rethrown after all in-flight cells
-  /// finish, in sequential mode it aborts the remaining cells immediately.
+  /// names throw before any training starts). A cell failure is retried per
+  /// `spec.sweep` and then quarantined as CellStatus::kFailed — run() still
+  /// returns the full grid, with `completed + failed + skipped` equal to
+  /// its size. Only infrastructure errors escape: store I/O failure, and
+  /// SweepCrash from an injected crash-after-commit fault (in parallel mode
+  /// rethrown after all in-flight cells finish; in sequential mode
+  /// immediately).
   ExperimentResult run();
 
  private:

@@ -57,11 +57,10 @@ class ChunkWriter {
     // byte is covered either by the hash or by being the hash.
     append_chunk(file, kTagChecksum, csum.bytes(), /*pad=*/false);
 
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) throw ArtifactError("cannot open '" + path + "' for writing");
-    out.write(reinterpret_cast<const char*>(file.bytes().data()),
-              static_cast<std::streamsize>(file.size()));
-    if (!out) throw ArtifactError("failed writing artifact '" + path + "'");
+    // write-temp + fsync + atomic rename: a crash mid-save can never leave
+    // a torn `.dart` under the final name, so consumers either see the old
+    // complete artifact or the new one (never a checksum-failing hybrid).
+    write_file_atomic(path, file.bytes().data(), file.size());
     return hash;
   }
 

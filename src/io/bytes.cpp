@@ -1,6 +1,13 @@
 #include "io/bytes.hpp"
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace dart::io {
 
@@ -29,6 +36,13 @@ void ByteWriter::f32(float v) {
   static_assert(sizeof(bits) == sizeof(v), "float must be 32-bit");
   std::memcpy(&bits, &v, sizeof(bits));
   u32(bits);
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
 }
 
 void ByteWriter::str(const std::string& s) {
@@ -105,6 +119,13 @@ std::uint64_t ByteReader::u64() {
 float ByteReader::f32() {
   const std::uint32_t bits = u32();
   float v = 0.0f;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
   std::memcpy(&v, &bits, sizeof(v));
   return v;
 }
@@ -202,6 +223,64 @@ nn::Tensor ByteReader::tensor() {
   nn::Tensor t(shape);
   std::memcpy(t.data(), payload.data(), payload.size() * sizeof(float));
   return t;
+}
+
+// ------------------------------------------------------------ atomic write
+
+void write_file_atomic(const std::string& path, const void* data, std::size_t n) {
+  // The temp lives next to the target so the rename never crosses a
+  // filesystem boundary (rename is only atomic within one filesystem).
+  const std::string tmp = path + ".tmp";
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw ArtifactError("cannot open '" + tmp + "' for writing");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, p + off, n - off);
+    if (w < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw ArtifactError("failed writing '" + tmp + "'");
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  // Durability before visibility: the payload must be on stable storage
+  // before the rename can publish it under the final name.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw ArtifactError("failed syncing '" + tmp + "'");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw ArtifactError("failed closing '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw ArtifactError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  // fsync the parent directory so the rename itself survives a crash.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best-effort: some filesystems reject directory fsync
+    ::close(dfd);
+  }
+#else
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw ArtifactError("cannot open '" + tmp + "' for writing");
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    out.flush();
+    if (!out) throw ArtifactError("failed writing '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw ArtifactError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+#endif
 }
 
 }  // namespace dart::io

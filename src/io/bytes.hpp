@@ -49,6 +49,9 @@ class ByteWriter {
   void u64(std::uint64_t v);
   /// Appends a float as its IEEE-754 bit pattern, little-endian.
   void f32(float v);
+  /// Appends a double as its IEEE-754 bit pattern, little-endian. Used by
+  /// the sweep result store for per-cell derived metrics.
+  void f64(double v);
   /// Appends a u64 length prefix followed by the raw characters.
   void str(const std::string& s);
   /// Appends a u64 count prefix followed by `n` floats.
@@ -91,6 +94,8 @@ class ByteReader {
   std::uint64_t u64();
   /// Reads an IEEE-754 float.
   float f32();
+  /// Reads an IEEE-754 double.
+  double f64();
   /// Reads a length-prefixed string.
   std::string str();
   /// Reads a count-prefixed float array.
@@ -120,5 +125,14 @@ class ByteReader {
   std::size_t size_;
   std::size_t pos_ = 0;
 };
+
+/// Atomically replaces `path` with `n` bytes of `data`: writes a sibling
+/// temp file, fsyncs it, renames it over `path`, and fsyncs the parent
+/// directory. A crash at any point leaves either the old file or the new
+/// file — never a torn final file that a later run half-trusts. The
+/// leftover temp of an interrupted write is ignored by every reader (it
+/// never carries the final name) and is overwritten by the next save.
+/// Throws ArtifactError on any I/O failure (the temp file is removed).
+void write_file_atomic(const std::string& path, const void* data, std::size_t n);
 
 }  // namespace dart::io

@@ -1,129 +1,23 @@
-// Deterministic fault injection for the serving layer (DESIGN.md §11).
+// Serving-layer view of the shared deterministic fault injector.
 //
-// A process-global registry parses a semicolon-separated spec string (the
-// `DART_FAULT` environment variable) into an immutable fault plan and
-// exposes cheap hooks the serving hot paths call at well-defined points:
-// batch assembly in `ShardEngine::run`, the submit wake handshake, ingress
-// admission, and the artifact bytes read by `PrefetchServer::swap_artifact`.
-// When no plan is armed every hook is a single relaxed atomic load, so the
-// hooks stay in production builds and chaos tests exercise the exact
-// binary that ships.
-//
-// Probabilistic faults draw from a counter-based SplitMix64 stream
-// (`common::derive_seed`), so a given spec produces the same fault schedule
-// on every run regardless of thread interleaving — the property
-// `tests/serve_chaos_test.cpp` builds its assertions on.
-//
-// Grammar (see §11 for the full table):
-//
-//   spec     := fault (';' fault)*
-//   fault    := kind [':' param (',' param)*]
-//   param    := key '=' value
-//
-//   slow-shard:shard=N,us=U[,batches=B]   delay each batch on shard N by U
-//                                         microseconds (first B batches;
-//                                         B=0 or absent: every batch)
-//   stall-shard:shard=N[,after=B]         after B more batches, shard N
-//                                         stops heartbeating until the
-//                                         watchdog abandons its thread
-//   drop-wake:p=P[,seed=S]                drop the submit-side park wake
-//                                         with probability P (the 200us
-//                                         park timeout is the backstop)
-//   reject-submit:p=P[,seed=S,shard=N]    fail ingress admission with
-//                                         probability P (shard absent: all)
-//   corrupt-artifact:offset=O[,count=N]   XOR-flip the byte at offset O of
-//                                         the next N artifact reads
-//   truncate-artifact:bytes=N[,count=C]   drop the last N bytes of the next
-//                                         C artifact reads
+// The injector itself lives in common/fault.hpp (one process-global plan
+// serves both the serving hot paths of DESIGN.md §11 and the sweep engine
+// of DESIGN.md §13); this header re-exports the surface under dart::serve
+// so the serving code and its chaos tests keep their historical spelling.
 #pragma once
 
-#include <atomic>
-#include <cstddef>
-#include <cstdint>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <vector>
+#include "common/fault.hpp"
 
 namespace dart::serve {
 
-/// One parsed fault clause: its kind plus the key=value parameters.
-struct FaultSpec {
-  std::string kind;                                          ///< e.g. "slow-shard"
-  std::vector<std::pair<std::string, std::string>> params;   ///< in spec order
-};
+using common::BatchFault;     ///< shard-loop batch fault (slow/stall)
+using common::FaultCounters;  ///< fired-fault tallies
+using common::FaultInjector;  ///< the process-global registry type
+using common::FaultSpec;      ///< one parsed fault clause
+using common::parse_fault_specs;
 
-/// Parses a `DART_FAULT` spec string into clauses; throws
-/// std::invalid_argument on grammar errors, unknown kinds, unknown or
-/// missing parameters, or out-of-range values. An empty string parses to
-/// an empty plan.
-std::vector<FaultSpec> parse_fault_specs(const std::string& text);
-
-/// What `FaultInjector::on_batch` tells the shard loop to do before
-/// serving the batch it just assembled.
-struct BatchFault {
-  std::uint64_t delay_us = 0;  ///< sleep this long (slow-shard)
-  bool stall = false;          ///< stop heartbeating until abandoned (stall-shard)
-};
-
-/// Monotonic tallies of faults actually fired, for test assertions and the
-/// operator report printed by `dart_run --serve`.
-struct FaultCounters {
-  std::uint64_t slow_batches = 0;       ///< batches delayed by slow-shard
-  std::uint64_t stalls = 0;             ///< stall-shard triggers
-  std::uint64_t wakes_dropped = 0;      ///< park wakes suppressed
-  std::uint64_t submits_rejected = 0;   ///< admissions failed by reject-submit
-  std::uint64_t artifacts_mutated = 0;  ///< artifact byte images corrupted/truncated
-};
-
-/// The process-global fault registry. `install` swaps in a new immutable
-/// plan (thread-safe against hooks running concurrently); `clear` disarms.
-/// Hooks are safe to call from any thread at any time.
-class FaultInjector {
- public:
-  /// Parses and arms `spec`; an empty string disarms. Resets the fired
-  /// counters. Throws std::invalid_argument on grammar errors (leaving the
-  /// previous plan armed).
-  void install(const std::string& spec);
-
-  /// Disarms all faults (hooks return to their single-load fast path).
-  void clear();
-
-  /// True when a non-empty plan is armed.
-  bool armed() const { return armed_.load(std::memory_order_acquire); }
-
-  /// Shard-loop hook, called once per assembled batch before serving.
-  BatchFault on_batch(std::size_t shard);
-
-  /// Submit-side hook: true = suppress the park wake for this submit.
-  bool drop_wake();
-
-  /// Ingress admission hook: true = reject this submit (backpressure).
-  bool reject_submit(std::size_t shard);
-
-  /// Artifact-read hook: corrupts or truncates `bytes` in place per the
-  /// armed corrupt-artifact / truncate-artifact clauses.
-  void mutate_artifact(std::vector<std::uint8_t>& bytes);
-
-  /// Snapshot of the fired-fault tallies since the last install().
-  FaultCounters counters() const;
-
- private:
-  struct Plan;
-  std::shared_ptr<const Plan> plan() const;
-
-  mutable std::mutex mu_;
-  std::shared_ptr<const Plan> plan_;
-  std::atomic<bool> armed_{false};
-
-  std::atomic<std::uint64_t> slow_batches_{0};
-  std::atomic<std::uint64_t> stalls_{0};
-  std::atomic<std::uint64_t> wakes_dropped_{0};
-  std::atomic<std::uint64_t> submits_rejected_{0};
-  std::atomic<std::uint64_t> artifacts_mutated_{0};
-};
-
-/// The process-wide injector instance every serving hook consults.
-FaultInjector& fault_injector();
+/// The process-wide injector instance (the same object as
+/// common::fault_injector()).
+inline FaultInjector& fault_injector() { return common::fault_injector(); }
 
 }  // namespace dart::serve

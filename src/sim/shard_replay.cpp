@@ -1,0 +1,112 @@
+#include "sim/shard_replay.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+#include "sim/workspace.hpp"
+
+namespace dart::sim {
+
+namespace {
+
+/// Fieldwise saturating subtraction: every SimStats field is monotone in
+/// the replayed prefix (the simulator is causal), so `a - b` never actually
+/// saturates when `a` extends `b`'s input — the clamp only guards against
+/// misuse.
+SimStats stats_sub(const SimStats& a, const SimStats& b) {
+  auto sub = [](std::uint64_t x, std::uint64_t y) { return x >= y ? x - y : 0; };
+  SimStats d;
+  d.instructions = sub(a.instructions, b.instructions);
+  d.cycles = sub(a.cycles, b.cycles);
+  d.llc_accesses = sub(a.llc_accesses, b.llc_accesses);
+  d.llc_hits = sub(a.llc_hits, b.llc_hits);
+  d.llc_demand_misses = sub(a.llc_demand_misses, b.llc_demand_misses);
+  d.pf_issued = sub(a.pf_issued, b.pf_issued);
+  d.pf_useful = sub(a.pf_useful, b.pf_useful);
+  d.pf_late = sub(a.pf_late, b.pf_late);
+  d.pf_dropped = sub(a.pf_dropped, b.pf_dropped);
+  return d;
+}
+
+void stats_add(SimStats* acc, const SimStats& d) {
+  acc->instructions += d.instructions;
+  acc->cycles += d.cycles;
+  acc->llc_accesses += d.llc_accesses;
+  acc->llc_hits += d.llc_hits;
+  acc->llc_demand_misses += d.llc_demand_misses;
+  acc->pf_issued += d.pf_issued;
+  acc->pf_useful += d.pf_useful;
+  acc->pf_late += d.pf_late;
+  acc->pf_dropped += d.pf_dropped;
+}
+
+SimStats replay_range(const SimConfig& config, const trace::MemoryTrace& trace,
+                      const ShardPrefetcherFactory& factory, std::size_t begin, std::size_t end) {
+  if (begin >= end) return SimStats{};
+  const trace::MemoryTrace sub(trace.begin() + static_cast<std::ptrdiff_t>(begin),
+                               trace.begin() + static_cast<std::ptrdiff_t>(end));
+  std::unique_ptr<Prefetcher> pf = factory ? factory() : nullptr;
+  Simulator simulator(config);
+  return simulator.run(sub, pf.get(), thread_local_sim_workspace());
+}
+
+}  // namespace
+
+ShardedStats run_sharded(const SimConfig& config, const trace::MemoryTrace& trace,
+                         const ShardPrefetcherFactory& factory, const ShardReplayOptions& options) {
+  ShardedStats out;
+  const std::size_t n = trace.size();
+  if (n == 0) return out;
+  const std::size_t shards = std::max<std::size_t>(1, std::min(options.shards, n));
+  const std::size_t chunk = (n + shards - 1) / shards;
+  const bool full_warmup = options.warmup == kFullWarmup;
+
+  out.shards.resize(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    ShardSlice& s = out.shards[i];
+    s.begin = std::min(n, i * chunk);
+    s.end = std::min(n, s.begin + chunk);
+    s.warm_begin = full_warmup ? 0 : (s.begin > options.warmup ? s.begin - options.warmup : 0);
+  }
+
+  // Per-shard replay. In full-prefix mode each shard runs [0, end) once and
+  // stores the prefix stats; the consecutive differences are taken in the
+  // pinned merge below (shard i-1's prefix is exactly shard i's warmup, so
+  // no second run is needed). In partial mode each shard runs its own
+  // warmup window and its full window, independently of every other shard.
+  std::vector<SimStats> prefix(shards);  // full-warmup mode: S(0, end_i)
+  auto run_shard = [&](std::size_t i) {
+    ShardSlice& s = out.shards[i];
+    if (full_warmup) {
+      prefix[i] = replay_range(config, trace, factory, 0, s.end);
+    } else {
+      const SimStats warm = replay_range(config, trace, factory, s.warm_begin, s.begin);
+      const SimStats full = replay_range(config, trace, factory, s.warm_begin, s.end);
+      s.contribution = stats_sub(full, warm);
+    }
+  };
+  if (options.parallel && shards > 1) {
+    common::parallel_for_each(shards, run_shard, /*min_grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < shards; ++i) run_shard(i);
+  }
+
+  // Pinned deterministic merge: shard order, always. In full-warmup mode
+  // the consecutive prefix differences telescope, so the merged stats equal
+  // the unsharded replay bit-for-bit on every field.
+  for (std::size_t i = 0; i < shards; ++i) {
+    ShardSlice& s = out.shards[i];
+    if (full_warmup) {
+      s.contribution = i == 0 ? prefix[0] : stats_sub(prefix[i], prefix[i - 1]);
+    }
+    stats_add(&out.merged, s.contribution);
+  }
+  if (!full_warmup) {
+    // The global instruction span is known exactly regardless of warmup
+    // quality; only the cache-state-dependent counters carry warmup error.
+    out.merged.instructions = trace.back().instr_id - trace.front().instr_id + 1;
+  }
+  return out;
+}
+
+}  // namespace dart::sim

@@ -1,0 +1,84 @@
+// Sharded trace replay with deterministic merge (DESIGN.md §13).
+//
+// Splits a trace into K contiguous shards, replays each on its own worker
+// with a fresh prefetcher instance, and merges the per-shard counter deltas
+// by a pinned in-order reduction. The merge contract rests on one property
+// the simulator already guarantees: replay is a deterministic, causal
+// function of its input sequence — the stats after processing the first k
+// accesses of a given input depend only on those k accesses.
+//
+// Two warmup modes:
+//
+//  * Full-prefix warmup (`warmup == kFullWarmup`, the default): shard i
+//    replays the whole prefix [0, end_i) once and its contribution is the
+//    consecutive difference S(end_i) - S(end_{i-1}). Because the windows
+//    are contiguous, the pinned sum telescopes: merged == S(n) BIT-EXACTLY
+//    for every field, including the non-additive `cycles` and
+//    `instructions`. This is the verification mode — no wall-clock win
+//    (the last shard replays everything), but the merge is provably exact
+//    and tests assert it.
+//
+//  * Partial warmup (`warmup == W`): shard i replays [begin_i - W, end_i)
+//    and subtracts its own warmup run over [begin_i - W, begin_i), so only
+//    ~n/K + 2W accesses are simulated per shard — the scale-out mode. The
+//    warmup approximates, but does not equal, the true cache/prefetcher
+//    state at begin_i, so merged counters carry a bounded warmup error.
+//    `instructions` is recomputed from the global trace endpoints (exact by
+//    construction) and `cycles` is the sum of window deltas (approximate);
+//    accuracy/coverage ratios converge to the unsharded values as W grows.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/prefetcher.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace dart::sim {
+
+/// Sentinel warmup meaning "replay the full prefix" (the exact mode).
+inline constexpr std::size_t kFullWarmup = static_cast<std::size_t>(-1);
+
+/// Shard plan knobs.
+struct ShardReplayOptions {
+  /// Number of contiguous shards (clamped to [1, trace size]).
+  std::size_t shards = 1;
+  /// Warmup accesses replayed before each shard window to approximate the
+  /// cache state at the window start; kFullWarmup = replay the full prefix
+  /// (bit-exact merge, no speedup).
+  std::size_t warmup = kFullWarmup;
+  /// Fan the shards out on the shared thread pool (false = run in order;
+  /// the merged result is identical either way).
+  bool parallel = true;
+};
+
+/// One shard's window and its merged-in counter delta.
+struct ShardSlice {
+  std::size_t begin = 0;       ///< first trace index owned by this shard
+  std::size_t end = 0;         ///< one past the last owned index
+  std::size_t warm_begin = 0;  ///< first index actually replayed (warmup)
+  SimStats contribution;       ///< window delta merged into the total
+};
+
+/// The pinned-merge result: the reduced totals plus per-shard deltas.
+struct ShardedStats {
+  SimStats merged;                 ///< in-order sum of shard contributions
+  std::vector<ShardSlice> shards;  ///< per-shard windows and deltas
+};
+
+/// Builds one fresh prefetcher per replay. Must be callable concurrently;
+/// each returned instance is owned by exactly one shard replay. A nullptr
+/// return replays the baseline (no prefetcher).
+using ShardPrefetcherFactory = std::function<std::unique_ptr<Prefetcher>()>;
+
+/// Replays `trace` across `options.shards` contiguous shards and merges the
+/// per-shard stats deltas by a pinned in-order reduction (shard 0 first,
+/// always — thread scheduling can never reorder the merge). See the file
+/// comment for the exactness contract per warmup mode.
+ShardedStats run_sharded(const SimConfig& config, const trace::MemoryTrace& trace,
+                         const ShardPrefetcherFactory& factory, const ShardReplayOptions& options);
+
+}  // namespace dart::sim

@@ -39,6 +39,53 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
   SUCCEED();
 }
 
+TEST(ThreadPool, TaskExceptionRethrownAtWaitIdle) {
+  // A throwing task must not kill the worker silently: the first exception
+  // is captured and rethrown to the caller blocked in wait_idle (DESIGN.md
+  // §13 — a sweep cell crash surfaces at the fork point, never vanishes).
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable after the rethrow.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, FirstOfManyExceptionsWins) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  // Exactly one rethrow per wait_idle; the captured slot is cleared by it.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // no stale exception left behind
+  SUCCEED();
+}
+
+TEST(ParallelForEach, BodyExceptionPropagatesToCaller) {
+  // parallel_for_each is the sweep's fan-out primitive: a throwing body
+  // must rethrow at the call site after every block finishes (no deadlock
+  // on the completion latch, no lost worker).
+  std::atomic<int> ran{0};
+  try {
+    parallel_for_each(64, [&](std::size_t i) {
+      ++ran;
+      if (i == 7) throw std::invalid_argument("body boom");
+    }, 1);
+    FAIL() << "expected the body exception to propagate";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "body boom");
+  }
+  // Every block completed (the latch drained) despite the throw.
+  EXPECT_GT(ran.load(), 0);
+  // The pool is healthy afterwards.
+  std::atomic<int> total{0};
+  parallel_for_each(100, [&](std::size_t) { ++total; }, 1);
+  EXPECT_EQ(total.load(), 100);
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(10000);
   parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {

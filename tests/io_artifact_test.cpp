@@ -266,6 +266,59 @@ TEST(Artifact, TruncationAtAnyPointIsACleanError) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------------- atomic save (§13)
+// Artifact saves go through write-temp + fsync + atomic rename: a crash
+// mid-save can leave a partial `<path>.tmp` behind, but never a torn file
+// under the final name. These tests pin the three observable halves of that
+// contract: no temp residue after a clean save, stale temp files are inert,
+// and a torn final file (simulated) is rejected with path context.
+
+TEST(Artifact, SaveLeavesNoTempFileBehind) {
+  const std::string path = temp_path("dart_artifact_atomic.dart");
+  tiny_predictor(pq::EncoderKind::kExact).save(path);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+      << "save must rename its temp file away, not leave it beside the artifact";
+  EXPECT_NO_THROW(tabular::TabularPredictor::load(path));
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, StalePartialTempFileIsIgnoredAndReplacedBySave) {
+  const std::string path = temp_path("dart_artifact_stale_tmp.dart");
+  tabular::TabularPredictor original = tiny_predictor(pq::EncoderKind::kExact);
+  original.save(path);
+  // A crashed previous save left a garbage temp next to the artifact:
+  // readers only ever open the final name, so the load is unaffected.
+  spit(path + ".tmp", {'p', 'a', 'r', 't', 'i', 'a', 'l'});
+  tabular::TabularPredictor reloaded = tabular::TabularPredictor::load(path);
+  expect_bit_exact(original, reloaded);
+  // The next save overwrites the stale temp and renames it away.
+  original.save(path);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_NO_THROW(tabular::TabularPredictor::load(path));
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, TornFinalFileIsRejectedWithPathAndTruncationContext) {
+  // What a *non-atomic* writer would have left after a crash: the artifact
+  // cut mid-chunk under its final name. The reader must reject it with an
+  // error naming the file and the damage, never load a partial model.
+  const std::string path = temp_path("dart_artifact_torn.dart");
+  tiny_predictor(pq::EncoderKind::kExact).save(path);
+  const std::vector<char> clean = slurp(path);
+  spit(path, std::vector<char>(clean.begin(),
+                               clean.begin() + static_cast<std::ptrdiff_t>(clean.size() / 2)));
+  try {
+    tabular::TabularPredictor::load(path);
+    FAIL() << "torn artifact loaded without error";
+  } catch (const io::ArtifactError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << "no file path in: " << msg;
+    EXPECT_NE(msg.find("truncat"), std::string::npos)
+        << "no truncation context in: " << msg;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(Artifact, HashTreeRawConstructorValidatesTree) {
   using Node = pq::HashTreeEncoder::HotNode;
   // Valid 2-leaf tree: root splits dim 0, children are leaves 0/1.
